@@ -1,0 +1,91 @@
+// Command safeweb-broker runs a standalone IFC-aware STOMP event broker —
+// the "secure event bus for event processing units" of the paper's Fig. 4
+// deployment (component 1).
+//
+// Usage:
+//
+//	safeweb-broker -addr :61613 -policy policy.json [-cert c.pem -key k.pem]
+//
+// The policy file (see internal/label.LoadPolicy for the schema) assigns
+// each login's clearance/declassification/endorsement privileges; the
+// broker filters delivered events so that clients only receive events
+// whose confidentiality labels their clearance covers, and rejects
+// integrity-labelled publishes from logins without the endorsement
+// privilege.
+package main
+
+import (
+	"crypto/tls"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"safeweb/internal/broker"
+	"safeweb/internal/label"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:61613", "listen address")
+	policyPath := flag.String("policy", "", "policy file (JSON); empty grants no privileges")
+	certFile := flag.String("cert", "", "TLS certificate (enables TLS with -key)")
+	keyFile := flag.String("key", "", "TLS private key")
+	statsEvery := flag.Duration("stats", 30*time.Second, "stats logging period (0 disables)")
+	flag.Parse()
+
+	if err := run(*addr, *policyPath, *certFile, *keyFile, *statsEvery); err != nil {
+		fmt.Fprintln(os.Stderr, "safeweb-broker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, policyPath, certFile, keyFile string, statsEvery time.Duration) error {
+	policy := label.NewPolicy()
+	if policyPath != "" {
+		loaded, err := label.LoadPolicy(policyPath)
+		if err != nil {
+			return err
+		}
+		policy = loaded
+		log.Printf("loaded policy with %d principals", len(policy.Principals()))
+	}
+
+	var tlsCfg *tls.Config
+	if certFile != "" || keyFile != "" {
+		cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+		if err != nil {
+			return fmt.Errorf("load TLS keypair: %w", err)
+		}
+		tlsCfg = &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}
+	}
+
+	b := broker.New(policy)
+	srv, err := broker.NewServer(addr, b, broker.ServerConfig{TLS: tlsCfg, Logf: log.Printf})
+	if err != nil {
+		return err
+	}
+	log.Printf("broker listening on %s (TLS: %v)", srv.Addr(), tlsCfg != nil)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+
+	if statsEvery > 0 {
+		ticker := time.NewTicker(statsEvery)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				log.Printf("stats: %+v", b.Stats())
+			}
+		}()
+	}
+
+	<-stop
+	log.Printf("shutting down; final stats: %+v", b.Stats())
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	b.Close()
+	return nil
+}

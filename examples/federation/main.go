@@ -1,0 +1,175 @@
+// Command federation demonstrates the paper's future-work scaling model
+// (§7): two independent regional SafeWeb instances ("east" and "west")
+// exchanging regional aggregates over a federation bridge while patient
+// data provably never crosses the boundary.
+//
+// Run it with:
+//
+//	go run ./examples/federation
+//
+// Each instance is a complete MDT deployment with its own registry,
+// policy, broker and frontend. The bridge connects east's broker to
+// west's, forwarding only /metric events with scope=region and mapping
+// east's labels into west's "federated" namespace. West's portal then
+// serves east's aggregates to its own users under west's policy.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"safeweb/internal/engine"
+	"safeweb/internal/event"
+	"safeweb/internal/federation"
+	"safeweb/internal/label"
+	"safeweb/internal/maindb"
+	"safeweb/internal/mdt"
+	"safeweb/internal/webfront"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "federation:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Two regional instances with separate registries.
+	east, err := mdt.Deploy(mdt.DeployConfig{Registry: maindb.Config{Seed: 1, Patients: 80, Regions: 1}})
+	if err != nil {
+		return err
+	}
+	defer east.Stop()
+	west, err := mdt.Deploy(mdt.DeployConfig{Registry: maindb.Config{Seed: 2, Patients: 80, Regions: 1}})
+	if err != nil {
+		return err
+	}
+	defer west.Stop()
+
+	// Federation principals: east exports only regional aggregates; west
+	// lets the bridge publish into a dedicated namespace.
+	fedLabel := label.Conf(mdt.Authority + "/regional-agg")
+	east.Broker.Policy().Grant("bridge-out", label.Clearance, label.Exact(fedLabel))
+
+	// A west-side unit persists federated aggregates into west's app DB.
+	// It needs clearance for the federated namespace, granted before the
+	// unit subscribes.
+	const fedDoc = "metric/federated/east"
+	westFed := label.Conf(mdt.Authority + "/federated/east/regional-agg")
+	west.Broker.Policy().Grant("fed-sink", label.Clearance,
+		label.MustParsePattern("label:conf:"+mdt.Authority+"/federated/*"))
+	err = west.AddUnit(&engine.FuncUnit{UnitName: "fed-sink", InitFunc: func(ctx *engine.InitContext) error {
+		return ctx.Subscribe("/federated/east/metric", "", func(ctx *engine.Context, ev *event.Event) error {
+			rev := ""
+			if existing, err := west.AppDB.Get(fedDoc); err == nil {
+				rev = existing.Rev
+			}
+			_, err := west.AppDB.Put(fedDoc, json.RawMessage(ev.Body), label.NewSet(westFed), rev)
+			return err
+		})
+	}})
+	if err != nil {
+		return err
+	}
+
+	// The bridge itself: east → west, regional metrics only, labels
+	// mapped into the federated namespace.
+	bridge, err := federation.New(
+		east.Broker.Endpoint("bridge-out"),
+		west.Broker.Endpoint("bridge-in"),
+		[]federation.Rule{{
+			Topic:       mdt.TopicAggregate,
+			Selector:    "scope = 'region'",
+			RemoteTopic: "/federated/east/metric",
+			Map: federation.PrefixMap(
+				mdt.Authority+"/",
+				mdt.Authority+"/federated/east/"),
+		}},
+	)
+	if err != nil {
+		return err
+	}
+	defer bridge.Close()
+
+	// West users gain clearance for the federated label; a west route
+	// serves it.
+	for _, m := range west.Registry.MDTs() {
+		u, err := west.WebDB.FindUser(m.ID)
+		if err != nil {
+			continue
+		}
+		west.WebDB.GrantLabel(u.ID, label.Clearance, label.Exact(westFed))
+	}
+	west.Frontend.Get("/federated/east", func(c *webfront.Ctx) error {
+		doc, err := west.DMZDB.Get(fedDoc)
+		if err != nil {
+			return webfront.ErrNotFound("federated aggregate")
+		}
+		wrapped, err := west.Frontend.WrapDoc(doc)
+		if err != nil {
+			return err
+		}
+		body, err := wrapped.ToJSON()
+		if err != nil {
+			return err
+		}
+		c.JSON(body)
+		return nil
+	})
+
+	// Import east's registry: its regional metric flows across the
+	// bridge as a side effect.
+	if err := east.ImportAll(); err != nil {
+		return err
+	}
+	east.Sync()
+	west.Sync()
+
+	stats := bridge.Stats()
+	fmt.Printf("bridge: forwarded %d event(s), dropped %d, errors %d\n",
+		stats.Forwarded, stats.DroppedUnmappable, stats.Errors)
+
+	// A west user fetches east's aggregate through west's portal.
+	addr, err := west.ServeHTTP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	user := west.Registry.MDTs()[0].ID
+	req, err := http.NewRequest(http.MethodGet, "http://"+addr+"/federated/east", nil)
+	if err != nil {
+		return err
+	}
+	req.SetBasicAuth(user, west.Creds[user])
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("west user %s fetching east's regional aggregate -> HTTP %d %s\n", user, resp.StatusCode, body)
+
+	// Patient data never crossed: no east patient label appears on any
+	// west document.
+	eastLeaks := 0
+	for _, id := range west.DMZDB.AllIDs() {
+		doc, err := west.DMZDB.Get(id)
+		if err != nil {
+			continue
+		}
+		for l := range doc.Labels {
+			if strings.HasPrefix(l.Name(), mdt.Authority+"/mdt/") && id == fedDoc {
+				eastLeaks++
+			}
+		}
+	}
+	fmt.Printf("east patient/MDT labels on west instance: %d (export policy withheld them at east's broker)\n", eastLeaks)
+	return nil
+}

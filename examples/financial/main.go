@@ -1,0 +1,281 @@
+// Command financial applies SafeWeb to a second domain from the paper's
+// motivation ("healthcare, financial processing and government services",
+// §1): a brokerage portal where advisers may see only their own clients'
+// positions, while firm-wide risk aggregates are visible to every adviser.
+//
+// Run it with:
+//
+//	go run ./examples/financial
+//
+// The pipeline mirrors the MDT application's shape — privileged trade-feed
+// producer, non-privileged position aggregator, privileged storage with
+// relabelling — demonstrating that the label scheme of policy P1
+// generalises: per-client labels behave like per-MDT labels, the firm
+// aggregate label like the regional aggregate label.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+
+	"safeweb"
+	"safeweb/internal/engine"
+	"safeweb/internal/event"
+	"safeweb/internal/label"
+	"safeweb/internal/webfront"
+)
+
+// clientLabel protects one client's positions.
+func clientLabel(client string) safeweb.Label {
+	return safeweb.ConfLabel("broker.example/client/" + client)
+}
+
+// firmLabel protects firm-level aggregates (visible to all advisers).
+func firmLabel() safeweb.Label {
+	return safeweb.ConfLabel("broker.example/firm-agg")
+}
+
+// trade is one fill from the trade feed.
+type trade struct {
+	Client string
+	Symbol string
+	Qty    int
+	Price  float64
+}
+
+var trades = []trade{
+	{"acme", "GOAT", 100, 42.5},
+	{"acme", "YAK", -40, 12.0},
+	{"bluth", "GOAT", 10, 43.1},
+	{"bluth", "BANANA", 500, 1.2},
+	{"acme", "GOAT", 60, 44.0},
+	{"bluth", "YAK", 80, 11.8},
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "financial:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	policy := safeweb.NewPolicy()
+	all := safeweb.MustParsePattern("label:conf:broker.example/*")
+	// Feed is privileged (reads the exchange); positions aggregates per
+	// client; storage relabels firm aggregates.
+	policy.SetPrincipal("trade-feed", safeweb.NewPrivileges().Grant(safeweb.Clearance, all), true)
+	policy.Grant("positions", safeweb.Clearance, all)
+	policy.SetPrincipal("store", safeweb.NewPrivileges().
+		Grant(safeweb.Clearance, all).
+		Grant(safeweb.Declassify, all), true)
+
+	mw, err := safeweb.NewMiddleware(safeweb.MiddlewareConfig{Policy: policy})
+	if err != nil {
+		return err
+	}
+	defer mw.Stop()
+
+	// Positions unit: per-client running position and P&L in the labelled
+	// store; publishes refreshed snapshots and a firm-wide exposure
+	// metric.
+	err = mw.AddUnit(&engine.FuncUnit{UnitName: "positions", InitFunc: func(ctx *engine.InitContext) error {
+		return ctx.Subscribe("/trades", "", func(ctx *engine.Context, ev *event.Event) error {
+			client := ev.Attr("client")
+			qty, _ := strconv.Atoi(ev.Attr("qty"))
+			price, _ := strconv.ParseFloat(ev.Attr("price"), 64)
+
+			key := "pos/" + client + "/" + ev.Attr("symbol")
+			held := 0
+			if v, ok := ctx.Get(key); ok {
+				held, _ = strconv.Atoi(v)
+			}
+			held += qty
+			if err := ctx.Set(key, strconv.Itoa(held)); err != nil {
+				return err
+			}
+
+			// Client snapshot: carries the client's label from the event
+			// and store reads.
+			snap, err := json.Marshal(map[string]any{
+				"client": client, "symbol": ev.Attr("symbol"), "position": held,
+				"last_price": price,
+			})
+			if err != nil {
+				return err
+			}
+			if err := ctx.Publish("/positions", map[string]string{
+				"client": client, "symbol": ev.Attr("symbol"),
+			}, snap); err != nil {
+				return err
+			}
+
+			// Firm exposure: notional of this fill accumulated across all
+			// clients. The tracked label set now mixes clients — exactly
+			// why storage must relabel it before advisers may see it.
+			notional := 0.0
+			if v, ok := ctx.Get("firm/notional"); ok {
+				notional, _ = strconv.ParseFloat(v, 64)
+			}
+			if qty < 0 {
+				qty = -qty
+			}
+			notional += float64(qty) * price
+			if err := ctx.Set("firm/notional", strconv.FormatFloat(notional, 'f', 2, 64)); err != nil {
+				return err
+			}
+			agg, err := json.Marshal(map[string]any{"gross_notional": notional})
+			if err != nil {
+				return err
+			}
+			return ctx.Publish("/firm", map[string]string{"metric": "exposure"}, agg)
+		})
+	}})
+	if err != nil {
+		return err
+	}
+
+	// Storage unit: client snapshots keep their labels; firm aggregates
+	// are declassified and relabelled (the §3.1 aggregate pattern).
+	err = mw.AddUnit(&engine.FuncUnit{UnitName: "store", InitFunc: func(ctx *engine.InitContext) error {
+		if err := ctx.Subscribe("/positions", "", func(ctx *engine.Context, ev *event.Event) error {
+			id := "position/" + ev.Attr("client") + "/" + ev.Attr("symbol")
+			return upsert(mw, id, ev.Body, ctx.Labels().Confidentiality())
+		}); err != nil {
+			return err
+		}
+		return ctx.Subscribe("/firm", "", func(ctx *engine.Context, ev *event.Event) error {
+			return upsert(mw, "firm/exposure", ev.Body, safeweb.NewLabelSet(firmLabel()))
+		})
+	}})
+	if err != nil {
+		return err
+	}
+
+	// Accounts: one adviser per client plus a compliance officer.
+	for _, adviser := range []struct{ name, client string }{
+		{"adviser-acme", "acme"}, {"adviser-bluth", "bluth"},
+	} {
+		u, err := mw.WebDB.CreateUser(adviser.name, "pw")
+		if err != nil {
+			return err
+		}
+		mw.WebDB.GrantLabel(u.ID, safeweb.Clearance, safeweb.ExactPattern(clientLabel(adviser.client)))
+		mw.WebDB.GrantLabel(u.ID, safeweb.Clearance, safeweb.ExactPattern(firmLabel()))
+	}
+	compliance, err := mw.WebDB.CreateUser("compliance", "pw")
+	if err != nil {
+		return err
+	}
+	mw.WebDB.GrantLabel(compliance.ID, safeweb.Clearance, all)
+
+	// Routes. Note: no access checks in handlers at all; the release
+	// check is the only guard, and it enforces per-client isolation.
+	mw.Frontend.Get("/positions/:client/:symbol", func(c *webfront.Ctx) error {
+		doc, err := mw.DMZDB.Get("position/" + c.Param("client") + "/" + c.Param("symbol"))
+		if err != nil {
+			return webfront.ErrNotFound("position")
+		}
+		wrapped, err := mw.Frontend.WrapDoc(doc)
+		if err != nil {
+			return err
+		}
+		body, err := wrapped.ToJSON()
+		if err != nil {
+			return err
+		}
+		c.JSON(body)
+		return nil
+	})
+	mw.Frontend.Get("/firm/exposure", func(c *webfront.Ctx) error {
+		doc, err := mw.DMZDB.Get("firm/exposure")
+		if err != nil {
+			return webfront.ErrNotFound("exposure")
+		}
+		wrapped, err := mw.Frontend.WrapDoc(doc)
+		if err != nil {
+			return err
+		}
+		body, err := wrapped.ToJSON()
+		if err != nil {
+			return err
+		}
+		c.JSON(body)
+		return nil
+	})
+
+	// Feed the trades through the pipeline, each labelled per client.
+	mw.Start()
+	for _, tr := range trades {
+		ev := safeweb.NewEvent("/trades", map[string]string{
+			"client": tr.Client,
+			"symbol": tr.Symbol,
+			"qty":    strconv.Itoa(tr.Qty),
+			"price":  strconv.FormatFloat(tr.Price, 'f', 2, 64),
+		}, clientLabel(tr.Client))
+		if err := mw.Broker.Publish("trade-feed", ev); err != nil {
+			return err
+		}
+	}
+	mw.Sync()
+	fmt.Printf("processed %d trades; %d documents in the portal store\n", len(trades), mw.DMZDB.Len())
+
+	addr, err := mw.ServeHTTP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Println("\naccess matrix (rows: user, request):")
+	checks := []struct{ user, path string }{
+		{"adviser-acme", "/positions/acme/GOAT"},
+		{"adviser-acme", "/positions/bluth/GOAT"}, // must be blocked
+		{"adviser-bluth", "/positions/bluth/GOAT"},
+		{"adviser-acme", "/firm/exposure"},
+		{"adviser-bluth", "/firm/exposure"},
+		{"compliance", "/positions/acme/GOAT"},
+		{"compliance", "/positions/bluth/GOAT"},
+	}
+	for _, chk := range checks {
+		status, body, err := get("http://"+addr+chk.path, chk.user, "pw")
+		if err != nil {
+			return err
+		}
+		if len(body) > 56 {
+			body = body[:56] + "..."
+		}
+		fmt.Printf("  %-14s %-28s -> HTTP %d %s\n", chk.user, chk.path, status, body)
+	}
+	fmt.Printf("\nfrontend blocked %d cross-client requests without a single handler-side check\n",
+		mw.Frontend.Stats().Blocked)
+	return nil
+}
+
+func upsert(mw *safeweb.Middleware, id string, body []byte, labels label.Set) error {
+	rev := ""
+	if doc, err := mw.AppDB.Get(id); err == nil {
+		rev = doc.Rev
+	}
+	_, err := mw.AppDB.Put(id, json.RawMessage(body), labels, rev)
+	return err
+}
+
+func get(url, user, pass string) (int, string, error) {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	req.SetBasicAuth(user, pass)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, string(b), nil
+}

@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+
+	"safeweb/internal/event"
+	"safeweb/internal/stomp"
+)
+
+// Pipeline is the exported handle to the synthetic backend pipeline, for
+// the repository-level testing.B benchmarks.
+type Pipeline struct {
+	p *backendPipeline
+}
+
+// NewPipelineForBench builds the producer→relay→sink pipeline and returns
+// it with its completion channel (one signal per event that reaches the
+// sink).
+func NewPipelineForBench(network bool) (*Pipeline, <-chan struct{}, error) {
+	p, err := newBackendPipeline(network)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Pipeline{p: p}, p.done, nil
+}
+
+// Publish sends one benchmark event, labelled when tracking is set.
+func (p *Pipeline) Publish(seq int, tracking bool) error {
+	return p.p.publish(seq, tracking)
+}
+
+// Stop tears the pipeline down.
+func (p *Pipeline) Stop() { p.p.stop() }
+
+// StompRoundTripForBench encodes and decodes a representative labelled
+// event n times through the full wire path (event → headers → frame →
+// bytes → frame → event); it returns the first error.
+func StompRoundTripForBench(n int) error {
+	ev := event.New("/bench", map[string]string{"seq": "1"}, benchLabels()...)
+	ev.Body = append([]byte(nil), benchBody...)
+	for i := 0; i < n; i++ {
+		headers, body, err := event.MarshalHeaders(ev)
+		if err != nil {
+			return err
+		}
+		f := stomp.NewFrame(stomp.CmdSend)
+		for k, v := range headers {
+			f.SetHeader(k, v)
+		}
+		f.Body = body
+		var buf bytes.Buffer
+		if err := stomp.WriteFrame(&buf, f); err != nil {
+			return err
+		}
+		back, err := stomp.ReadFrame(bufio.NewReader(&buf))
+		if err != nil {
+			return err
+		}
+		if _, err := event.UnmarshalHeaders(back.Headers, back.Body); err != nil {
+			return err
+		}
+	}
+	if n < 0 {
+		return fmt.Errorf("bench: negative iteration count")
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+// Package broker implements SafeWeb's IFC-aware event broker (paper §4.2).
+//
+// Units communicate by publishing events and subscribing to topics with
+// optional SQL-92 content selectors. The broker matches subscriptions
+// against published events and additionally filters by security label:
+// "for an event to be delivered to a subscriber, the set of its
+// confidentiality labels must be a subset of those labels for which the
+// subscriber possesses clearance privileges."
+//
+// The core Broker is transport-independent; package-level Server and
+// Client types expose it over the STOMP wire protocol with the paper's
+// label-header extensions.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"safeweb/internal/event"
+	"safeweb/internal/label"
+	"safeweb/internal/selector"
+)
+
+// Handler consumes events delivered to a subscription.
+type Handler func(ev *event.Event)
+
+// ErrClosed is returned by operations on a closed broker.
+var ErrClosed = errors.New("broker: closed")
+
+// Stats counts broker activity; useful for tests, monitoring and the
+// evaluation harness.
+type Stats struct {
+	// Published counts accepted publishes.
+	Published uint64
+	// Delivered counts events handed to subscription handlers.
+	Delivered uint64
+	// FilteredByLabel counts deliveries suppressed because the event's
+	// confidentiality labels were not covered by subscriber clearance.
+	FilteredByLabel uint64
+	// FilteredBySelector counts deliveries suppressed by content
+	// selectors.
+	FilteredBySelector uint64
+	// RejectedPublish counts publishes rejected by validation or
+	// integrity-endorsement checks.
+	RejectedPublish uint64
+}
+
+// Subscription is a registered subscription.
+type Subscription struct {
+	id        uint64
+	principal string
+	topic     string
+	sel       *selector.Selector
+	clearance *label.Privileges
+	handler   Handler
+}
+
+// ID returns the broker-unique subscription identifier.
+func (s *Subscription) ID() string { return "sub-" + strconv.FormatUint(s.id, 10) }
+
+// Topic returns the subscribed topic pattern.
+func (s *Subscription) Topic() string { return s.topic }
+
+// Broker is the in-process IFC-aware event broker. It is safe for
+// concurrent use. Delivery is synchronous with respect to Publish: the
+// engine layers its own per-callback goroutines on top, mirroring the
+// paper's architecture where the STOMP client spawns a thread per
+// callback.
+type Broker struct {
+	policy *label.Policy
+
+	mu     sync.RWMutex
+	subs   map[uint64]*Subscription
+	nextID uint64
+	closed bool
+
+	published          atomic.Uint64
+	delivered          atomic.Uint64
+	filteredByLabel    atomic.Uint64
+	filteredBySelector atomic.Uint64
+	rejectedPublish    atomic.Uint64
+}
+
+// New creates a broker enforcing the given policy. A nil policy denies all
+// privileged operations but still routes unlabelled events.
+func New(policy *label.Policy) *Broker {
+	if policy == nil {
+		policy = label.NewPolicy()
+	}
+	return &Broker{
+		policy: policy,
+		subs:   make(map[uint64]*Subscription),
+	}
+}
+
+// Policy returns the broker's policy, e.g. for dynamic delegation.
+func (b *Broker) Policy() *label.Policy { return b.policy }
+
+// TopicMatches reports whether a subscription topic pattern covers a
+// published topic. Patterns are exact topics, a trailing "/*" wildcard
+// covering any deeper path, or "*" covering everything.
+func TopicMatches(pattern, topic string) bool {
+	switch {
+	case pattern == "*":
+		return true
+	case strings.HasSuffix(pattern, "/*"):
+		prefix := strings.TrimSuffix(pattern, "*")
+		return strings.HasPrefix(topic, prefix)
+	default:
+		return pattern == topic
+	}
+}
+
+// Subscribe registers a subscription for the named principal. The
+// principal's clearance is read from the broker policy at delivery time, so
+// policy updates apply to existing subscriptions. The selector source may
+// be empty for no content filtering.
+func (b *Broker) Subscribe(principal, topic, sel string, handler Handler) (*Subscription, error) {
+	if handler == nil {
+		return nil, errors.New("broker: nil handler")
+	}
+	if topic == "" {
+		return nil, errors.New("broker: empty topic")
+	}
+	compiled, err := selector.Parse(sel)
+	if err != nil {
+		return nil, fmt.Errorf("broker: bad selector: %w", err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	b.nextID++
+	sub := &Subscription{
+		id:        b.nextID,
+		principal: principal,
+		topic:     topic,
+		sel:       compiled,
+		handler:   handler,
+	}
+	b.subs[sub.id] = sub
+	return sub, nil
+}
+
+// Unsubscribe removes a subscription. Removing an already-removed
+// subscription is a no-op.
+func (b *Broker) Unsubscribe(sub *Subscription) {
+	if sub == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.subs, sub.id)
+}
+
+// Publish validates and dispatches an event published by the named
+// principal. Confidentiality labels may be attached freely ("it is always
+// possible to add extra confidentiality labels to events", §4.1), but
+// attaching an integrity label requires the endorsement privilege.
+//
+// Each matching subscriber receives an independent clone of the event, so
+// a buggy unit mutating its input cannot affect its peers.
+func (b *Broker) Publish(principal string, ev *event.Event) error {
+	if err := ev.Validate(); err != nil {
+		b.rejectedPublish.Add(1)
+		return err
+	}
+	privs := b.policy.PrivilegesOf(principal)
+	for l := range ev.Labels.Integrity() {
+		if !privs.Has(label.Endorse, l) {
+			b.rejectedPublish.Add(1)
+			return &label.FlowError{
+				Op: "endorse", Label: l, Principal: principal,
+				Reason: "publishing an integrity label requires the endorsement privilege",
+			}
+		}
+	}
+
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return ErrClosed
+	}
+	matched := make([]*Subscription, 0, 4)
+	for _, sub := range b.subs {
+		if TopicMatches(sub.topic, ev.Topic) {
+			matched = append(matched, sub)
+		}
+	}
+	b.mu.RUnlock()
+
+	b.published.Add(1)
+	conf := ev.Labels.Confidentiality()
+	for _, sub := range matched {
+		// Label filtering: every confidentiality label must be covered
+		// by the subscriber's clearance.
+		subPrivs := b.policy.PrivilegesOf(sub.principal)
+		if !subPrivs.HasAll(label.Clearance, conf) {
+			b.filteredByLabel.Add(1)
+			continue
+		}
+		if !sub.sel.MatchesAttrs(ev.Attrs) {
+			b.filteredBySelector.Add(1)
+			continue
+		}
+		b.delivered.Add(1)
+		sub.handler(ev.Clone())
+	}
+	return nil
+}
+
+// Stats returns a snapshot of broker counters.
+func (b *Broker) Stats() Stats {
+	return Stats{
+		Published:          b.published.Load(),
+		Delivered:          b.delivered.Load(),
+		FilteredByLabel:    b.filteredByLabel.Load(),
+		FilteredBySelector: b.filteredBySelector.Load(),
+		RejectedPublish:    b.rejectedPublish.Load(),
+	}
+}
+
+// Close marks the broker closed and removes all subscriptions.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+	b.subs = make(map[uint64]*Subscription)
+}
+
+// Endpoint returns a Bus view of the broker bound to one principal. The
+// engine hands each unit an endpoint for its own principal so that units
+// cannot spoof each other's identity.
+func (b *Broker) Endpoint(principal string) *Endpoint {
+	return &Endpoint{broker: b, principal: principal}
+}
+
+// Bus is the event communication interface units see: publish and
+// subscribe bound to a fixed principal. Both the in-process Endpoint and
+// the networked Client implement it, so an engine can run against either a
+// local or a remote broker.
+type Bus interface {
+	// Publish sends an event.
+	Publish(ev *event.Event) error
+	// Subscribe registers a handler; it returns an opaque subscription id.
+	Subscribe(topic, sel string, handler Handler) (string, error)
+	// Unsubscribe cancels a subscription by id.
+	Unsubscribe(id string) error
+	// Close releases the bus.
+	Close() error
+}
+
+// Endpoint adapts a Broker to the Bus interface for one principal.
+type Endpoint struct {
+	broker    *Broker
+	principal string
+
+	mu   sync.Mutex
+	subs map[string]*Subscription
+}
+
+var _ Bus = (*Endpoint)(nil)
+
+// Principal returns the principal this endpoint acts as.
+func (e *Endpoint) Principal() string { return e.principal }
+
+// Publish implements Bus.
+func (e *Endpoint) Publish(ev *event.Event) error {
+	return e.broker.Publish(e.principal, ev)
+}
+
+// Subscribe implements Bus.
+func (e *Endpoint) Subscribe(topic, sel string, handler Handler) (string, error) {
+	sub, err := e.broker.Subscribe(e.principal, topic, sel, handler)
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	if e.subs == nil {
+		e.subs = make(map[string]*Subscription)
+	}
+	e.subs[sub.ID()] = sub
+	e.mu.Unlock()
+	return sub.ID(), nil
+}
+
+// Unsubscribe implements Bus.
+func (e *Endpoint) Unsubscribe(id string) error {
+	e.mu.Lock()
+	sub := e.subs[id]
+	delete(e.subs, id)
+	e.mu.Unlock()
+	if sub == nil {
+		return fmt.Errorf("broker: unknown subscription %q", id)
+	}
+	e.broker.Unsubscribe(sub)
+	return nil
+}
+
+// Close implements Bus: it cancels this endpoint's subscriptions but
+// leaves the broker running.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	subs := e.subs
+	e.subs = nil
+	e.mu.Unlock()
+	for _, sub := range subs {
+		e.broker.Unsubscribe(sub)
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+package broker
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"safeweb/internal/event"
+	"safeweb/internal/label"
+)
+
+// testPolicy builds the policy used across broker tests: unit "cleared"
+// has clearance for MDT 7 labels, "uncleared" has none, "endorser" can add
+// the MDT integrity label.
+func testPolicy() *label.Policy {
+	p := label.NewPolicy()
+	p.Grant("cleared", label.Clearance, label.MustParsePattern("label:conf:ecric.org.uk/mdt/7"))
+	p.Grant("wild", label.Clearance, label.MustParsePattern("label:conf:ecric.org.uk/*"))
+	p.Grant("endorser", label.Endorse, label.MustParsePattern("label:int:ecric.org.uk/mdt"))
+	return p
+}
+
+// collect returns a Handler appending to a slice under a mutex plus a
+// getter.
+func collect() (Handler, func() []*event.Event) {
+	var mu sync.Mutex
+	var got []*event.Event
+	h := func(ev *event.Event) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	}
+	return h, func() []*event.Event {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]*event.Event(nil), got...)
+	}
+}
+
+func TestTopicMatches(t *testing.T) {
+	tests := []struct {
+		pattern, topic string
+		want           bool
+	}{
+		{"/patient_report", "/patient_report", true},
+		{"/patient_report", "/patient_reports", false},
+		{"/mdt/*", "/mdt/7", true},
+		{"/mdt/*", "/mdt/7/records", true},
+		{"/mdt/*", "/mdt", false},
+		{"*", "/anything", true},
+	}
+	for _, tt := range tests {
+		if got := TopicMatches(tt.pattern, tt.topic); got != tt.want {
+			t.Errorf("TopicMatches(%q, %q) = %v, want %v", tt.pattern, tt.topic, got, tt.want)
+		}
+	}
+}
+
+func TestPublishSubscribeRoundTrip(t *testing.T) {
+	b := New(testPolicy())
+	defer b.Close()
+
+	h, got := collect()
+	if _, err := b.Subscribe("cleared", "/patient_report", "", h); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	ev := event.New("/patient_report", map[string]string{"patient_id": "1"},
+		label.Conf("ecric.org.uk/mdt/7"))
+	if err := b.Publish("producer", ev); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if evs := got(); len(evs) != 1 || evs[0].Attr("patient_id") != "1" {
+		t.Fatalf("delivered = %v", evs)
+	}
+}
+
+func TestLabelFilteringBlocksUnclearedSubscriber(t *testing.T) {
+	b := New(testPolicy())
+	defer b.Close()
+
+	clearedH, clearedGot := collect()
+	unclearedH, unclearedGot := collect()
+	mustSubscribe(t, b, "cleared", "/t", "", clearedH)
+	mustSubscribe(t, b, "uncleared", "/t", "", unclearedH)
+
+	// Labelled event: only the cleared unit may see it.
+	if err := b.Publish("producer", event.New("/t", nil, label.Conf("ecric.org.uk/mdt/7"))); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	// Unlabelled event: everyone sees it.
+	if err := b.Publish("producer", event.New("/t", nil)); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+
+	if n := len(clearedGot()); n != 2 {
+		t.Errorf("cleared unit got %d events, want 2", n)
+	}
+	if n := len(unclearedGot()); n != 1 {
+		t.Errorf("uncleared unit got %d events, want 1", n)
+	}
+	stats := b.Stats()
+	if stats.FilteredByLabel != 1 {
+		t.Errorf("FilteredByLabel = %d, want 1", stats.FilteredByLabel)
+	}
+}
+
+func TestMultiLabelRequiresFullClearance(t *testing.T) {
+	b := New(testPolicy())
+	defer b.Close()
+
+	// "cleared" has mdt/7 only, "wild" has all ecric labels. An event
+	// carrying labels of two MDTs (a mixed aggregate, §5.2 "design
+	// errors") must reach only "wild".
+	clearedH, clearedGot := collect()
+	wildH, wildGot := collect()
+	mustSubscribe(t, b, "cleared", "/t", "", clearedH)
+	mustSubscribe(t, b, "wild", "/t", "", wildH)
+
+	mixed := event.New("/t", nil,
+		label.Conf("ecric.org.uk/mdt/7"), label.Conf("ecric.org.uk/mdt/8"))
+	if err := b.Publish("producer", mixed); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if len(clearedGot()) != 0 {
+		t.Error("partially cleared subscriber received mixed-label event")
+	}
+	if len(wildGot()) != 1 {
+		t.Error("fully cleared subscriber missed mixed-label event")
+	}
+}
+
+func TestSelectorFiltering(t *testing.T) {
+	b := New(testPolicy())
+	defer b.Close()
+
+	h, got := collect()
+	mustSubscribe(t, b, "cleared", "/patient_report", "type = 'cancer'", h)
+
+	_ = b.Publish("p", event.New("/patient_report", map[string]string{"type": "cancer"}))
+	_ = b.Publish("p", event.New("/patient_report", map[string]string{"type": "screening"}))
+
+	if evs := got(); len(evs) != 1 || evs[0].Attr("type") != "cancer" {
+		t.Errorf("selector filtering wrong: %v", evs)
+	}
+	if b.Stats().FilteredBySelector != 1 {
+		t.Errorf("FilteredBySelector = %d", b.Stats().FilteredBySelector)
+	}
+}
+
+func TestIntegrityEndorsementRequired(t *testing.T) {
+	b := New(testPolicy())
+	defer b.Close()
+
+	ev := event.New("/t", nil, label.Int("ecric.org.uk/mdt"))
+	err := b.Publish("producer", ev)
+	var fe *label.FlowError
+	if !errors.As(err, &fe) || fe.Op != "endorse" {
+		t.Fatalf("unendorsed integrity publish: err = %v", err)
+	}
+	if err := b.Publish("endorser", ev); err != nil {
+		t.Errorf("endorser rejected: %v", err)
+	}
+	if b.Stats().RejectedPublish != 1 {
+		t.Errorf("RejectedPublish = %d", b.Stats().RejectedPublish)
+	}
+}
+
+func TestSubscriptionIsolationCloning(t *testing.T) {
+	b := New(testPolicy())
+	defer b.Close()
+
+	var first *event.Event
+	mustSubscribe(t, b, "cleared", "/t", "", func(ev *event.Event) {
+		// A buggy unit mutates its input.
+		ev.Attrs["k"] = "mutated"
+		first = ev
+	})
+	h2, got2 := collect()
+	mustSubscribe(t, b, "wild", "/t", "", h2)
+
+	src := event.New("/t", map[string]string{"k": "orig"})
+	if err := b.Publish("p", src); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if src.Attrs["k"] != "orig" {
+		t.Error("publisher's event mutated by subscriber")
+	}
+	evs := got2()
+	if len(evs) != 1 || evs[0].Attr("k") != "orig" {
+		t.Errorf("second subscriber saw mutation: %v", evs)
+	}
+	if first == nil || first.Attr("k") != "mutated" {
+		t.Error("sanity: first subscriber's clone missing")
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	b := New(testPolicy())
+	defer b.Close()
+
+	h, got := collect()
+	sub, err := b.Subscribe("cleared", "/t", "", h)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	_ = b.Publish("p", event.New("/t", nil))
+	b.Unsubscribe(sub)
+	b.Unsubscribe(sub) // idempotent
+	b.Unsubscribe(nil) // nil-safe
+	_ = b.Publish("p", event.New("/t", nil))
+	if n := len(got()); n != 1 {
+		t.Errorf("events after unsubscribe: %d, want 1", n)
+	}
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	b := New(testPolicy())
+	defer b.Close()
+	if _, err := b.Subscribe("u", "/t", "", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	if _, err := b.Subscribe("u", "", "", func(*event.Event) {}); err == nil {
+		t.Error("empty topic accepted")
+	}
+	if _, err := b.Subscribe("u", "/t", "a = ", func(*event.Event) {}); err == nil {
+		t.Error("bad selector accepted")
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	b := New(testPolicy())
+	defer b.Close()
+	if err := b.Publish("p", &event.Event{}); err == nil {
+		t.Error("invalid event accepted")
+	}
+}
+
+func TestClosedBroker(t *testing.T) {
+	b := New(testPolicy())
+	b.Close()
+	if _, err := b.Subscribe("u", "/t", "", func(*event.Event) {}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Subscribe after close: %v", err)
+	}
+	if err := b.Publish("p", event.New("/t", nil)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Publish after close: %v", err)
+	}
+}
+
+func TestEndpointBus(t *testing.T) {
+	b := New(testPolicy())
+	defer b.Close()
+
+	ep := b.Endpoint("cleared")
+	if ep.Principal() != "cleared" {
+		t.Errorf("Principal = %q", ep.Principal())
+	}
+	h, got := collect()
+	id, err := ep.Subscribe("/t", "", h)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if err := b.Endpoint("p").Publish(event.New("/t", nil)); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if len(got()) != 1 {
+		t.Fatal("endpoint subscription missed event")
+	}
+	if err := ep.Unsubscribe(id); err != nil {
+		t.Errorf("Unsubscribe: %v", err)
+	}
+	if err := ep.Unsubscribe("bogus"); err == nil {
+		t.Error("Unsubscribe(bogus) succeeded")
+	}
+	_ = b.Endpoint("p").Publish(event.New("/t", nil))
+	if len(got()) != 1 {
+		t.Error("event delivered after endpoint unsubscribe")
+	}
+
+	// Close cancels remaining subscriptions.
+	h2, got2 := collect()
+	if _, err := ep.Subscribe("/t", "", h2); err != nil {
+		t.Fatalf("re-Subscribe: %v", err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	_ = b.Endpoint("p").Publish(event.New("/t", nil))
+	if len(got2()) != 0 {
+		t.Error("event delivered after endpoint close")
+	}
+}
+
+func TestConcurrentPublishers(t *testing.T) {
+	b := New(testPolicy())
+	defer b.Close()
+
+	h, got := collect()
+	mustSubscribe(t, b, "wild", "/t", "", h)
+
+	const (
+		publishers = 8
+		perPub     = 100
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < publishers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perPub; j++ {
+				_ = b.Publish("p", event.New("/t", map[string]string{"n": "1"}))
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(got()); n != publishers*perPub {
+		t.Errorf("delivered %d, want %d", n, publishers*perPub)
+	}
+}
+
+func mustSubscribe(t *testing.T, b *Broker, principal, topic, sel string, h Handler) *Subscription {
+	t.Helper()
+	sub, err := b.Subscribe(principal, topic, sel, h)
+	if err != nil {
+		t.Fatalf("Subscribe(%s, %s): %v", principal, topic, err)
+	}
+	return sub
+}

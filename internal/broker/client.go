@@ -1,0 +1,86 @@
+package broker
+
+import (
+	"crypto/tls"
+	"time"
+
+	"safeweb/internal/event"
+	"safeweb/internal/stomp"
+)
+
+// ClientConfig configures a networked broker client.
+type ClientConfig struct {
+	// Login is the policy principal this client acts as.
+	Login string
+	// Passcode authenticates the login.
+	Passcode string
+	// TLS enables transport security.
+	TLS *tls.Config
+	// SendTimeout bounds receipt-confirmed publishes; zero means
+	// fire-and-forget SENDs.
+	SendTimeout time.Duration
+	// OnError receives asynchronous errors (decode failures, server
+	// errors); nil drops them.
+	OnError func(error)
+}
+
+// Client is a Bus implementation over a remote STOMP broker. It lets an
+// engine (or any producer/consumer) run in a different process or network
+// zone from the broker, as in the paper's ECRIC deployment where the event
+// broker is a separate service inside the Intranet (Fig. 4).
+type Client struct {
+	cfg   ClientConfig
+	stomp *stomp.Client
+}
+
+var _ Bus = (*Client)(nil)
+
+// DialBus connects to a broker server.
+func DialBus(addr string, cfg ClientConfig) (*Client, error) {
+	c := &Client{cfg: cfg}
+	sc, err := stomp.Dial(addr, stomp.ClientConfig{
+		Login:    cfg.Login,
+		Passcode: cfg.Passcode,
+		TLS:      cfg.TLS,
+		OnError:  cfg.OnError,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.stomp = sc
+	return c, nil
+}
+
+// Publish implements Bus.
+func (c *Client) Publish(ev *event.Event) error {
+	headers, body, err := event.MarshalHeaders(ev)
+	if err != nil {
+		return err
+	}
+	dest := headers[event.HeaderDestination]
+	delete(headers, event.HeaderDestination)
+	if c.cfg.SendTimeout > 0 {
+		return c.stomp.SendReceipt(dest, headers, body, c.cfg.SendTimeout)
+	}
+	return c.stomp.Send(dest, headers, body)
+}
+
+// Subscribe implements Bus.
+func (c *Client) Subscribe(topic, sel string, handler Handler) (string, error) {
+	return c.stomp.Subscribe(topic, sel, nil, func(f *stomp.Frame) {
+		ev, err := event.UnmarshalHeaders(f.Headers, f.Body)
+		if err != nil {
+			if c.cfg.OnError != nil {
+				c.cfg.OnError(err)
+			}
+			return
+		}
+		handler(ev)
+	})
+}
+
+// Unsubscribe implements Bus.
+func (c *Client) Unsubscribe(id string) error { return c.stomp.Unsubscribe(id) }
+
+// Close implements Bus with a graceful disconnect.
+func (c *Client) Close() error { return c.stomp.Disconnect(5 * time.Second) }

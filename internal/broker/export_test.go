@@ -1,0 +1,12 @@
+package broker
+
+// subsSnapshot exposes the current subscription list for tests.
+func (b *Broker) subsSnapshot() []*Subscription {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]*Subscription, 0, len(b.subs))
+	for _, sub := range b.subs {
+		out = append(out, sub)
+	}
+	return out
+}

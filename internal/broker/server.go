@@ -1,0 +1,170 @@
+package broker
+
+import (
+	"crypto/tls"
+	"fmt"
+	"log"
+	"sync"
+
+	"safeweb/internal/event"
+	"safeweb/internal/stomp"
+)
+
+// ServerConfig configures the STOMP network front of a broker.
+type ServerConfig struct {
+	// Authenticate validates CONNECT credentials; nil accepts everyone
+	// (deployments inside the Intranet zone rely on network partitioning,
+	// paper Fig. 4; DMZ-facing brokers must set this).
+	Authenticate stomp.Authenticator
+	// TLS enables transport security ("extended with SSL support at the
+	// transport layer", §4.2).
+	TLS *tls.Config
+	// Logf logs; nil uses log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Server exposes a Broker over STOMP. Logins name the policy principal of
+// the connection; SUBSCRIBE and SEND frames are translated to broker
+// operations with label semantics preserved.
+type Server struct {
+	broker *Broker
+	stomp  *stomp.Server
+
+	mu       sync.Mutex
+	sessions map[uint64]*serverSession
+}
+
+type serverSession struct {
+	sess *stomp.Session
+	// subs maps the client-chosen subscription id to the broker
+	// subscription.
+	subs map[string]*Subscription
+
+	msgSeq uint64
+}
+
+// NewServer starts a STOMP front for the broker on addr.
+func NewServer(addr string, b *Broker, cfg ServerConfig) (*Server, error) {
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	srv := &Server{
+		broker:   b,
+		sessions: make(map[uint64]*serverSession),
+	}
+	st, err := stomp.NewServer(addr, stomp.ServerConfig{
+		Handler:      srv,
+		Authenticate: cfg.Authenticate,
+		TLS:          cfg.TLS,
+		Logf:         cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv.stomp = st
+	return srv, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.stomp.Addr() }
+
+// Close shuts down the network front (the broker itself stays open).
+func (s *Server) Close() error { return s.stomp.Close() }
+
+// OnConnect implements stomp.SessionHandler.
+func (s *Server) OnConnect(sess *stomp.Session, login string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sessions[sess.ID()] = &serverSession{
+		sess: sess,
+		subs: make(map[string]*Subscription),
+	}
+	return nil
+}
+
+// OnDisconnect implements stomp.SessionHandler.
+func (s *Server) OnDisconnect(sess *stomp.Session) {
+	s.mu.Lock()
+	ss := s.sessions[sess.ID()]
+	delete(s.sessions, sess.ID())
+	s.mu.Unlock()
+	if ss == nil {
+		return
+	}
+	for _, sub := range ss.subs {
+		s.broker.Unsubscribe(sub)
+	}
+}
+
+// OnFrame implements stomp.SessionHandler.
+func (s *Server) OnFrame(sess *stomp.Session, f *stomp.Frame) error {
+	s.mu.Lock()
+	ss := s.sessions[sess.ID()]
+	s.mu.Unlock()
+	if ss == nil {
+		return fmt.Errorf("broker: no session state for %d", sess.ID())
+	}
+
+	switch f.Command {
+	case stomp.CmdSend:
+		ev, err := event.UnmarshalHeaders(f.Headers, f.Body)
+		if err != nil {
+			return err
+		}
+		return s.broker.Publish(sess.Login(), ev)
+
+	case stomp.CmdSubscribe:
+		clientID := f.Header(stomp.HdrID)
+		if clientID == "" {
+			return fmt.Errorf("broker: SUBSCRIBE without id header")
+		}
+		topic := f.Header(stomp.HdrDestination)
+		sel := f.Header(stomp.HdrSelector)
+		sub, err := s.broker.Subscribe(sess.Login(), topic, sel, func(ev *event.Event) {
+			s.deliver(ss, clientID, ev)
+		})
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		ss.subs[clientID] = sub
+		s.mu.Unlock()
+		return nil
+
+	case stomp.CmdUnsubscribe:
+		clientID := f.Header(stomp.HdrID)
+		s.mu.Lock()
+		sub := ss.subs[clientID]
+		delete(ss.subs, clientID)
+		s.mu.Unlock()
+		s.broker.Unsubscribe(sub)
+		return nil
+
+	case stomp.CmdAck, stomp.CmdNack, stomp.CmdBegin, stomp.CmdCommit, stomp.CmdAbort:
+		// Auto-ack, no transactions: accepted and ignored.
+		return nil
+
+	default:
+		return fmt.Errorf("broker: unsupported command %s", f.Command)
+	}
+}
+
+// deliver sends a matched event to a session as a MESSAGE frame.
+func (s *Server) deliver(ss *serverSession, clientSubID string, ev *event.Event) {
+	headers, body, err := event.MarshalHeaders(ev)
+	if err != nil {
+		return // event was validated at publish; cannot happen in practice
+	}
+	f := stomp.NewFrame(stomp.CmdMessage)
+	for k, v := range headers {
+		f.SetHeader(k, v)
+	}
+	f.SetHeader(stomp.HdrSubscription, clientSubID)
+	s.mu.Lock()
+	ss.msgSeq++
+	seq := ss.msgSeq
+	s.mu.Unlock()
+	f.SetHeader(stomp.HdrMessageID, fmt.Sprintf("m-%d-%d", ss.sess.ID(), seq))
+	f.Body = body
+	_ = ss.sess.Send(f) // session teardown races are handled by OnDisconnect
+}

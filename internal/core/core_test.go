@@ -1,0 +1,126 @@
+package core
+
+import (
+	"io"
+	"net/http"
+	"testing"
+
+	"safeweb/internal/engine"
+	"safeweb/internal/event"
+	"safeweb/internal/label"
+	"safeweb/internal/webfront"
+)
+
+func testPolicy() *label.Policy {
+	p := label.NewPolicy()
+	p.Grant("echo-unit", label.Clearance, label.MustParsePattern("label:conf:test/*"))
+	p.SetPrincipal("writer", label.NewPrivileges().
+		Grant(label.Clearance, label.MustParsePattern("label:conf:test/*")), true)
+	return p
+}
+
+func TestAssemblyPipelineToFrontend(t *testing.T) {
+	m, err := New(Config{Policy: testPolicy(), Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(m.Stop)
+
+	// A writer unit persists every /in event into the app database with
+	// its labels.
+	err = m.AddUnit(&engine.FuncUnit{UnitName: "writer", InitFunc: func(ctx *engine.InitContext) error {
+		return ctx.Subscribe("/in", "", func(ctx *engine.Context, ev *event.Event) error {
+			_, perr := m.AppDB.Put("doc-"+ev.Attr("id"),
+				map[string]string{"value": ev.Attr("value")},
+				ctx.Labels().Confidentiality(), "")
+			return perr
+		})
+	}})
+	if err != nil {
+		t.Fatalf("AddUnit: %v", err)
+	}
+
+	// A user cleared for test/a.
+	u, err := m.WebDB.CreateUser("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.WebDB.GrantLabel(u.ID, label.Clearance, label.MustParsePattern("label:conf:test/a"))
+
+	m.Frontend.Get("/doc/:id", func(c *webfront.Ctx) error {
+		doc, err := m.DMZDB.Get("doc-" + c.Param("id"))
+		if err != nil {
+			return webfront.ErrNotFound("doc")
+		}
+		wrapped, err := m.Frontend.WrapDoc(doc)
+		if err != nil {
+			return err
+		}
+		c.Write(wrapped.GetString("value"))
+		return nil
+	})
+
+	m.Start()
+	if err := m.PublishControl("producer", "/in", map[string]string{"id": "1", "value": "v1"}); err != nil {
+		t.Fatalf("publish unlabelled: %v", err)
+	}
+	labelled := event.New("/in", map[string]string{"id": "2", "value": "v2"}, label.Conf("test/b"))
+	if err := m.Broker.Publish("producer", labelled); err != nil {
+		t.Fatalf("publish labelled: %v", err)
+	}
+	m.Sync()
+
+	// S1: the DMZ replica has the docs but rejects writes.
+	if m.DMZDB.Len() != 2 {
+		t.Fatalf("DMZ len = %d", m.DMZDB.Len())
+	}
+	if _, err := m.DMZDB.Put("direct", map[string]string{}, nil, ""); err == nil {
+		t.Fatal("DMZ accepted a direct write")
+	}
+
+	addr, err := m.ServeHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeHTTP: %v", err)
+	}
+	// Idempotent.
+	if again, _ := m.ServeHTTP("127.0.0.1:0"); again != addr {
+		t.Error("second ServeHTTP returned a different address")
+	}
+
+	fetch := func(path string) (int, string) {
+		req, _ := http.NewRequest(http.MethodGet, "http://"+addr+path, nil)
+		req.SetBasicAuth("alice", "pw")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// Unlabelled doc: served.
+	if status, body := fetch("/doc/1"); status != http.StatusOK || body != "v1" {
+		t.Errorf("doc/1 = %d %q", status, body)
+	}
+	// Labelled with test/b, user cleared only for test/a: blocked (S2).
+	if status, body := fetch("/doc/2"); status != http.StatusForbidden || body == "v2" {
+		t.Errorf("doc/2 = %d %q", status, body)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing policy accepted")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	m, err := New(Config{Policy: testPolicy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	m.Stop()
+	m.Stop()
+}

@@ -1,0 +1,334 @@
+// Package docstore implements SafeWeb's application database: a
+// CouchDB-style document store (paper §5.1) holding the labelled result
+// records produced by the event-processing backend and read by the web
+// frontend.
+//
+// Like the deployment in Fig. 4, a store supports: labelled JSON documents
+// with revision-checked updates, named map views (the frontend's
+// "Records.by_mid(:key => mid)" query from Listing 2), a monotonic changes
+// feed, one-way push replication between instances (Intranet → DMZ), and a
+// read-only mode for the DMZ replica so the web frontend cannot modify
+// application data (security requirement S1).
+package docstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"safeweb/internal/label"
+)
+
+// Common errors.
+var (
+	// ErrNotFound is returned for missing or deleted documents.
+	ErrNotFound = errors.New("docstore: document not found")
+	// ErrConflict is returned when the supplied revision does not match
+	// the current revision.
+	ErrConflict = errors.New("docstore: revision conflict")
+	// ErrReadOnly is returned for writes to a read-only replica.
+	ErrReadOnly = errors.New("docstore: store is read-only")
+	// ErrNoView is returned for queries against unregistered views.
+	ErrNoView = errors.New("docstore: no such view")
+)
+
+// Document is a stored document. Fields are immutable once returned;
+// callers receive copies.
+type Document struct {
+	// ID is the document id.
+	ID string `json:"_id"`
+	// Rev is the revision, "N-hash".
+	Rev string `json:"_rev"`
+	// Seq is the store-local change sequence of this revision.
+	Seq uint64 `json:"_seq"`
+	// Deleted marks a tombstone (kept for replication).
+	Deleted bool `json:"_deleted,omitempty"`
+	// Data is the document body (JSON object).
+	Data json.RawMessage `json:"data,omitempty"`
+	// Labels is the document's security label set, stored alongside the
+	// data exactly as the backend's storage unit wrote it.
+	Labels label.Set `json:"labels,omitempty"`
+}
+
+func (d *Document) clone() *Document {
+	out := *d
+	if d.Data != nil {
+		out.Data = append(json.RawMessage(nil), d.Data...)
+	}
+	return &out
+}
+
+// ViewFunc maps a document to zero or more view keys (a CouchDB map
+// function restricted to key emission, which is all SafeWeb needs).
+type ViewFunc func(doc *Document) []string
+
+// Options configure a store.
+type Options struct {
+	// ReadOnly rejects all writes through Put/Delete. Replication
+	// deliveries bypass it: the DMZ replica is read-only towards the
+	// frontend yet receives pushed updates from the Intranet instance.
+	ReadOnly bool
+}
+
+// Store is one database instance. It is safe for concurrent use.
+type Store struct {
+	name string
+	opts Options
+
+	mu    sync.RWMutex
+	docs  map[string]*Document
+	seq   uint64
+	views map[string]ViewFunc
+}
+
+// New creates an empty store with the given name.
+func New(name string, opts Options) *Store {
+	return &Store{
+		name:  name,
+		opts:  opts,
+		docs:  make(map[string]*Document),
+		views: make(map[string]ViewFunc),
+	}
+}
+
+// Name returns the store name.
+func (s *Store) Name() string { return s.name }
+
+// ReadOnly reports whether the store rejects direct writes.
+func (s *Store) ReadOnly() bool { return s.opts.ReadOnly }
+
+// revFor computes the next revision string from a revision counter and
+// content hash, CouchDB-style.
+func revFor(prevRev string, data []byte, deleted bool) string {
+	n := 0
+	if prevRev != "" {
+		if idx := strings.IndexByte(prevRev, '-'); idx > 0 {
+			n, _ = strconv.Atoi(prevRev[:idx])
+		}
+	}
+	h := sha256.Sum256(append(data, byte(btoi(deleted))))
+	return fmt.Sprintf("%d-%s", n+1, hex.EncodeToString(h[:8]))
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Put creates or updates a document. For updates, rev must equal the
+// current revision; pass "" for creation. data is marshalled to JSON; it
+// may be a json.RawMessage to store pre-encoded bodies.
+func (s *Store) Put(id string, data any, labels label.Set, rev string) (*Document, error) {
+	if s.opts.ReadOnly {
+		return nil, fmt.Errorf("%w: %s", ErrReadOnly, s.name)
+	}
+	return s.put(id, data, labels, rev)
+}
+
+func (s *Store) put(id string, data any, labels label.Set, rev string) (*Document, error) {
+	if id == "" {
+		return nil, errors.New("docstore: empty document id")
+	}
+	raw, err := toRaw(data)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	existing := s.docs[id]
+	switch {
+	case existing == nil || existing.Deleted:
+		if rev != "" && (existing == nil || rev != existing.Rev) {
+			return nil, fmt.Errorf("%w: %s has no revision %q", ErrConflict, id, rev)
+		}
+	case rev != existing.Rev:
+		return nil, fmt.Errorf("%w: %s is at %s, not %q", ErrConflict, id, existing.Rev, rev)
+	}
+
+	prevRev := ""
+	if existing != nil {
+		prevRev = existing.Rev
+	}
+	s.seq++
+	doc := &Document{
+		ID:     id,
+		Rev:    revFor(prevRev, raw, false),
+		Seq:    s.seq,
+		Data:   raw,
+		Labels: labels.Clone(),
+	}
+	s.docs[id] = doc
+	return doc.clone(), nil
+}
+
+func toRaw(data any) (json.RawMessage, error) {
+	switch t := data.(type) {
+	case json.RawMessage:
+		if !json.Valid(t) {
+			return nil, errors.New("docstore: invalid raw JSON body")
+		}
+		return append(json.RawMessage(nil), t...), nil
+	case []byte:
+		if !json.Valid(t) {
+			return nil, errors.New("docstore: invalid raw JSON body")
+		}
+		return append(json.RawMessage(nil), t...), nil
+	default:
+		raw, err := json.Marshal(data)
+		if err != nil {
+			return nil, fmt.Errorf("docstore: encode body: %w", err)
+		}
+		return raw, nil
+	}
+}
+
+// Get returns the current revision of a document.
+func (s *Store) Get(id string) (*Document, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	doc := s.docs[id]
+	if doc == nil || doc.Deleted {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return doc.clone(), nil
+}
+
+// Delete tombstones a document at the given revision.
+func (s *Store) Delete(id, rev string) error {
+	if s.opts.ReadOnly {
+		return fmt.Errorf("%w: %s", ErrReadOnly, s.name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc := s.docs[id]
+	if doc == nil || doc.Deleted {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if rev != doc.Rev {
+		return fmt.Errorf("%w: %s is at %s, not %q", ErrConflict, id, doc.Rev, rev)
+	}
+	s.seq++
+	s.docs[id] = &Document{
+		ID:      id,
+		Rev:     revFor(doc.Rev, nil, true),
+		Seq:     s.seq,
+		Deleted: true,
+		Labels:  doc.Labels,
+	}
+	return nil
+}
+
+// AllIDs returns the ids of all live documents, sorted.
+func (s *Store) AllIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.docs))
+	for id, doc := range s.docs {
+		if !doc.Deleted {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live documents.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, doc := range s.docs {
+		if !doc.Deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Seq returns the store's current change sequence.
+func (s *Store) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// RegisterView installs a named map view, e.g. "by_mid".
+func (s *Store) RegisterView(name string, fn ViewFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.views[name] = fn
+}
+
+// Query evaluates a view and returns the live documents emitting the given
+// key, in id order. This is the frontend's Listing 2 query:
+// Records.by_mid(:key => params[:mid]).
+func (s *Store) Query(view, key string) ([]*Document, error) {
+	s.mu.RLock()
+	fn := s.views[view]
+	if fn == nil {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoView, view)
+	}
+	var out []*Document
+	for _, doc := range s.docs {
+		if doc.Deleted {
+			continue
+		}
+		for _, k := range fn(doc) {
+			if k == key {
+				out = append(out, doc.clone())
+				break
+			}
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Change is one changes-feed entry.
+type Change struct {
+	// Seq is the change sequence.
+	Seq uint64 `json:"seq"`
+	// Doc is the document at that revision.
+	Doc *Document `json:"doc"`
+}
+
+// Changes returns all changes with sequence greater than since, in
+// sequence order. Only the latest revision of each document appears, as in
+// CouchDB's default feed.
+func (s *Store) Changes(since uint64) []Change {
+	s.mu.RLock()
+	var out []Change
+	for _, doc := range s.docs {
+		if doc.Seq > since {
+			out = append(out, Change{Seq: doc.Seq, Doc: doc.clone()})
+		}
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// applyReplicated installs a replicated document, bypassing the read-only
+// gate (replication is the one permitted inbound path to a DMZ replica,
+// matching CouchDB push replication through the firewall in Fig. 4). The
+// incoming revision wins unconditionally: replication is one-way, so the
+// source is authoritative.
+func (s *Store) applyReplicated(doc *Document) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	copied := doc.clone()
+	copied.Seq = s.seq
+	s.docs[copied.ID] = copied
+}

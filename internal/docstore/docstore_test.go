@@ -1,0 +1,291 @@
+package docstore
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"safeweb/internal/label"
+)
+
+var mdt7 = label.Conf("ecric.org.uk/mdt/7")
+
+type record struct {
+	MID  string `json:"mid"`
+	Name string `json:"name"`
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := New("app", Options{})
+	doc, err := s.Put("rec-1", record{MID: "7", Name: "Smith"}, label.NewSet(mdt7), "")
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if doc.ID != "rec-1" || doc.Rev == "" || doc.Seq != 1 {
+		t.Errorf("doc = %+v", doc)
+	}
+
+	got, err := s.Get("rec-1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	var back record
+	if err := json.Unmarshal(got.Data, &back); err != nil || back.Name != "Smith" {
+		t.Errorf("data = %s, err %v", got.Data, err)
+	}
+	if !got.Labels.Contains(mdt7) {
+		t.Errorf("labels = %v", got.Labels)
+	}
+}
+
+func TestRevisionConflicts(t *testing.T) {
+	s := New("app", Options{})
+	doc, err := s.Put("d", record{Name: "v1"}, nil, "")
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	// Update without rev: conflict.
+	if _, err := s.Put("d", record{Name: "v2"}, nil, ""); !errors.Is(err, ErrConflict) {
+		t.Errorf("blind update: %v", err)
+	}
+	// Update with stale rev: conflict.
+	if _, err := s.Put("d", record{Name: "v2"}, nil, "1-bogus"); !errors.Is(err, ErrConflict) {
+		t.Errorf("stale update: %v", err)
+	}
+	// Correct rev succeeds and bumps the revision counter.
+	doc2, err := s.Put("d", record{Name: "v2"}, nil, doc.Rev)
+	if err != nil {
+		t.Fatalf("update: %v", err)
+	}
+	if doc2.Rev == doc.Rev || doc2.Rev[:2] != "2-" {
+		t.Errorf("rev = %s", doc2.Rev)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New("app", Options{})
+	doc, _ := s.Put("d", record{}, nil, "")
+
+	if err := s.Delete("d", "wrong"); !errors.Is(err, ErrConflict) {
+		t.Errorf("delete wrong rev: %v", err)
+	}
+	if err := s.Delete("d", doc.Rev); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get("d"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after delete: %v", err)
+	}
+	if err := s.Delete("d", doc.Rev); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	// Re-creating a deleted id works with empty rev.
+	if _, err := s.Put("d", record{Name: "again"}, nil, ""); err != nil {
+		t.Errorf("recreate: %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := New("app", Options{})
+	if _, err := s.Put("", record{}, nil, ""); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := s.Put("d", json.RawMessage("{not json"), nil, ""); err == nil {
+		t.Error("invalid raw JSON accepted")
+	}
+	if _, err := s.Put("d", make(chan int), nil, ""); err == nil {
+		t.Error("unmarshalable body accepted")
+	}
+	if _, err := s.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get missing: %v", err)
+	}
+}
+
+func TestReadOnly(t *testing.T) {
+	s := New("dmz", Options{ReadOnly: true})
+	if !s.ReadOnly() {
+		t.Error("ReadOnly() = false")
+	}
+	if _, err := s.Put("d", record{}, nil, ""); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Put: %v", err)
+	}
+	if err := s.Delete("d", "1-x"); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Delete: %v", err)
+	}
+	// Replication still lands (S1: one-way inbound flow only).
+	src := New("intranet", Options{})
+	if _, err := src.Put("d", record{Name: "pushed"}, label.NewSet(mdt7), ""); err != nil {
+		t.Fatalf("src Put: %v", err)
+	}
+	if _, n := ReplicateOnce(src, s, 0); n != 1 {
+		t.Fatalf("ReplicateOnce pushed %d", n)
+	}
+	got, err := s.Get("d")
+	if err != nil {
+		t.Fatalf("Get replicated: %v", err)
+	}
+	if !got.Labels.Contains(mdt7) {
+		t.Error("labels lost in replication")
+	}
+}
+
+func TestViews(t *testing.T) {
+	s := New("app", Options{})
+	s.RegisterView("by_mid", func(doc *Document) []string {
+		var r record
+		if err := json.Unmarshal(doc.Data, &r); err != nil {
+			return nil
+		}
+		return []string{r.MID}
+	})
+	mustPut(t, s, "r1", record{MID: "7", Name: "A"})
+	mustPut(t, s, "r2", record{MID: "8", Name: "B"})
+	mustPut(t, s, "r3", record{MID: "7", Name: "C"})
+
+	docs, err := s.Query("by_mid", "7")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(docs) != 2 || docs[0].ID != "r1" || docs[1].ID != "r3" {
+		t.Errorf("docs = %v", ids(docs))
+	}
+	if _, err := s.Query("nope", "7"); !errors.Is(err, ErrNoView) {
+		t.Errorf("unknown view: %v", err)
+	}
+
+	// Deleted docs leave the view.
+	doc, _ := s.Get("r1")
+	if err := s.Delete("r1", doc.Rev); err != nil {
+		t.Fatal(err)
+	}
+	docs, _ = s.Query("by_mid", "7")
+	if len(docs) != 1 || docs[0].ID != "r3" {
+		t.Errorf("after delete: %v", ids(docs))
+	}
+}
+
+func TestChangesFeed(t *testing.T) {
+	s := New("app", Options{})
+	mustPut(t, s, "a", record{Name: "1"})
+	mustPut(t, s, "b", record{Name: "2"})
+
+	all := s.Changes(0)
+	if len(all) != 2 || all[0].Seq >= all[1].Seq {
+		t.Fatalf("changes = %+v", all)
+	}
+	since := all[0].Seq
+	rest := s.Changes(since)
+	if len(rest) != 1 || rest[0].Doc.ID != "b" {
+		t.Errorf("changes since %d = %+v", since, rest)
+	}
+
+	// Updating a doc re-surfaces only its latest revision.
+	doc, _ := s.Get("a")
+	if _, err := s.Put("a", record{Name: "1v2"}, nil, doc.Rev); err != nil {
+		t.Fatal(err)
+	}
+	all = s.Changes(0)
+	if len(all) != 2 {
+		t.Errorf("feed has %d entries, want 2 (latest revs only)", len(all))
+	}
+}
+
+func TestReplicationConvergence(t *testing.T) {
+	src := New("intranet", Options{})
+	dst := New("dmz", Options{ReadOnly: true})
+
+	mustPut(t, src, "a", record{Name: "A"})
+	mustPut(t, src, "b", record{Name: "B"})
+	cp, n := ReplicateOnce(src, dst, 0)
+	if n != 2 || dst.Len() != 2 {
+		t.Fatalf("first push: n=%d len=%d", n, dst.Len())
+	}
+
+	// Incremental: only new changes push.
+	doc, _ := src.Get("a")
+	if _, err := src.Put("a", record{Name: "A2"}, nil, doc.Rev); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, src, "c", record{Name: "C"})
+	cp2, n2 := ReplicateOnce(src, dst, cp)
+	if n2 != 2 {
+		t.Errorf("incremental push n=%d, want 2", n2)
+	}
+	if cp2 <= cp {
+		t.Errorf("checkpoint did not advance: %d -> %d", cp, cp2)
+	}
+
+	// Deletions replicate as tombstones.
+	docC, _ := src.Get("c")
+	if err := src.Delete("c", docC.Rev); err != nil {
+		t.Fatal(err)
+	}
+	_, n3 := ReplicateOnce(src, dst, cp2)
+	if n3 != 1 {
+		t.Errorf("tombstone push n=%d", n3)
+	}
+	if _, err := dst.Get("c"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted doc still visible on replica: %v", err)
+	}
+
+	// Contents converge.
+	for _, id := range []string{"a", "b"} {
+		sdoc, _ := src.Get(id)
+		ddoc, err := dst.Get(id)
+		if err != nil {
+			t.Fatalf("replica missing %s: %v", id, err)
+		}
+		if string(sdoc.Data) != string(ddoc.Data) || sdoc.Rev != ddoc.Rev {
+			t.Errorf("%s diverged: %s/%s vs %s/%s", id, sdoc.Rev, sdoc.Data, ddoc.Rev, ddoc.Data)
+		}
+	}
+}
+
+func TestReplicatorLoop(t *testing.T) {
+	src := New("intranet", Options{})
+	dst := New("dmz", Options{ReadOnly: true})
+	r := NewReplicator(src, dst, 0, t.Logf)
+	r.Start()
+	defer r.Stop()
+
+	mustPut(t, src, "a", record{Name: "A"})
+	// Push synchronously rather than waiting for the ticker.
+	r.Push()
+	if dst.Len() != 1 {
+		t.Errorf("replica len = %d", dst.Len())
+	}
+	mustPut(t, src, "b", record{Name: "B"})
+	r.Stop() // final catch-up push on stop
+	if dst.Len() != 2 {
+		t.Errorf("replica len after stop = %d", dst.Len())
+	}
+	if r.Pushed() != 2 {
+		t.Errorf("Pushed = %d", r.Pushed())
+	}
+	r.Stop() // idempotent
+}
+
+func TestStopNeverStarted(t *testing.T) {
+	r := NewReplicator(New("a", Options{}), New("b", Options{}), 0, t.Logf)
+	r.Stop() // no-op
+}
+
+func mustPut(t *testing.T, s *Store, id string, v any) *Document {
+	t.Helper()
+	doc, err := s.Put(id, v, nil, "")
+	if err != nil {
+		t.Fatalf("Put(%s): %v", id, err)
+	}
+	return doc
+}
+
+func ids(docs []*Document) []string {
+	out := make([]string, len(docs))
+	for i, d := range docs {
+		out[i] = d.ID
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package docstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"safeweb/internal/label"
+)
+
+// TestReplicationInterruptedAndResumed: replication that stops mid-stream
+// and resumes from its checkpoint converges without replaying everything.
+func TestReplicationInterruptedAndResumed(t *testing.T) {
+	src := New("intranet", Options{})
+	dst := New("dmz", Options{ReadOnly: true})
+
+	for i := 0; i < 10; i++ {
+		mustPut(t, src, fmt.Sprintf("a-%d", i), record{Name: fmt.Sprint(i)})
+	}
+	cp, n := ReplicateOnce(src, dst, 0)
+	if n != 10 {
+		t.Fatalf("first push n=%d", n)
+	}
+
+	// "Interruption": more writes land while no replicator runs.
+	for i := 0; i < 5; i++ {
+		mustPut(t, src, fmt.Sprintf("b-%d", i), record{Name: fmt.Sprint(i)})
+	}
+	// Resume from the checkpoint: only the delta is pushed.
+	_, n = ReplicateOnce(src, dst, cp)
+	if n != 5 {
+		t.Fatalf("resumed push n=%d, want 5", n)
+	}
+	if dst.Len() != 15 {
+		t.Errorf("replica len = %d", dst.Len())
+	}
+}
+
+// TestQuickReplicationConvergence: after any random interleaving of
+// writes, updates and deletes with periodic partial replications, a final
+// push makes the replica equal to the source.
+func TestQuickReplicationConvergence(t *testing.T) {
+	rnd := rand.New(rand.NewSource(17))
+	for round := 0; round < 25; round++ {
+		src := New("src", Options{})
+		dst := New("dst", Options{ReadOnly: true})
+		checkpoint := uint64(0)
+
+		ids := []string{"a", "b", "c", "d"}
+		for op := 0; op < 40; op++ {
+			id := ids[rnd.Intn(len(ids))]
+			switch rnd.Intn(4) {
+			case 0, 1: // upsert
+				rev := ""
+				if doc, err := src.Get(id); err == nil {
+					rev = doc.Rev
+				}
+				labels := label.NewSet()
+				if rnd.Intn(2) == 0 {
+					labels = label.NewSet(label.Conf("x/" + id))
+				}
+				if _, err := src.Put(id, record{Name: fmt.Sprint(op)}, labels, rev); err != nil {
+					t.Fatal(err)
+				}
+			case 2: // delete if present
+				if doc, err := src.Get(id); err == nil {
+					if err := src.Delete(id, doc.Rev); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 3: // partial replication
+				checkpoint, _ = ReplicateOnce(src, dst, checkpoint)
+			}
+		}
+		// Final convergence push.
+		ReplicateOnce(src, dst, checkpoint)
+
+		if src.Len() != dst.Len() {
+			t.Fatalf("round %d: len diverged %d vs %d", round, src.Len(), dst.Len())
+		}
+		for _, id := range src.AllIDs() {
+			sdoc, err := src.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ddoc, err := dst.Get(id)
+			if err != nil {
+				t.Fatalf("round %d: replica missing %s", round, id)
+			}
+			if string(sdoc.Data) != string(ddoc.Data) || !sdoc.Labels.Equal(ddoc.Labels) {
+				t.Fatalf("round %d: %s diverged", round, id)
+			}
+		}
+	}
+}
+
+// TestConcurrentWritersOneDoc: revision checking serialises concurrent
+// writers; exactly the winners' updates land, no corruption.
+func TestConcurrentWritersOneDoc(t *testing.T) {
+	s := New("app", Options{})
+	mustPut(t, s, "d", record{Name: "init"})
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		applied  int
+		conflict int
+	)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				doc, err := s.Get("d")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, err = s.Put("d", record{Name: fmt.Sprintf("w%d-%d", worker, i)}, nil, doc.Rev)
+				mu.Lock()
+				if err != nil {
+					conflict++
+				} else {
+					applied++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if applied == 0 {
+		t.Fatal("no writes applied")
+	}
+	doc, err := s.Get("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Revision counter equals applied writes + the initial one.
+	var revNum int
+	if _, err := fmt.Sscanf(doc.Rev, "%d-", &revNum); err != nil {
+		t.Fatal(err)
+	}
+	if revNum != applied+1 {
+		t.Errorf("rev %d, applied %d", revNum, applied)
+	}
+	t.Logf("applied=%d conflicts=%d", applied, conflict)
+}

@@ -1,0 +1,91 @@
+package docstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"safeweb/internal/label"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := New("app", Options{})
+	doc, err := s.Put("a", record{MID: "7", Name: "A"}, label.NewSet(mdt7), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, s, "b", record{MID: "8", Name: "B"})
+	// Tombstone one document so deletion state survives reload.
+	if err := s.Delete("b", func() string {
+		d, _ := s.Get("b")
+		return d.Rev
+	}()); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "app.json")
+	if err := s.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	back, err := Load(path, Options{})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	got, err := back.Get("a")
+	if err != nil {
+		t.Fatalf("Get after load: %v", err)
+	}
+	if got.Rev != doc.Rev || !got.Labels.Contains(mdt7) {
+		t.Errorf("doc after load = %+v", got)
+	}
+	if _, err := back.Get("b"); !errors.Is(err, ErrNotFound) {
+		t.Error("tombstone lost in reload")
+	}
+	if back.Seq() != s.Seq() {
+		t.Errorf("seq after load = %d, want %d", back.Seq(), s.Seq())
+	}
+
+	// The reloaded store continues the revision/sequence chain.
+	if _, err := back.Put("c", record{Name: "C"}, nil, ""); err != nil {
+		t.Fatalf("Put after load: %v", err)
+	}
+	if back.Seq() != s.Seq()+1 {
+		t.Errorf("seq after new put = %d", back.Seq())
+	}
+
+	// A reloaded replica can serve as a replication target resuming from
+	// the saved checkpoint.
+	dst, err := Load(path, Options{ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dst.ReadOnly() {
+		t.Error("options not applied on load")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json"), Options{}); err == nil {
+		t.Error("missing file loaded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad, Options{}); err == nil {
+		t.Error("corrupt snapshot loaded")
+	}
+	noID := filepath.Join(t.TempDir(), "noid.json")
+	if err := writeFile(noID, `{"name":"x","seq":1,"docs":[{"_rev":"1-x","_seq":1}]}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(noID, Options{}); err == nil {
+		t.Error("snapshot with id-less doc loaded")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o600)
+}

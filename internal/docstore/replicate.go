@@ -1,0 +1,101 @@
+package docstore
+
+import (
+	"context"
+	"log"
+	"sync"
+	"time"
+)
+
+// ReplicateOnce pushes all changes of src newer than the checkpoint to
+// dst and returns the new checkpoint and the number of documents pushed.
+// Push replication is unidirectional: nothing flows back from dst, which
+// is what lets the DMZ replica stay read-only (paper §5.1: "the
+// application database is replicated periodically between the two
+// instances using CouchDB push replication. The DMZ instance is read-only
+// ... thus satisfying requirement S1").
+func ReplicateOnce(src, dst *Store, checkpoint uint64) (uint64, int) {
+	changes := src.Changes(checkpoint)
+	for _, ch := range changes {
+		dst.applyReplicated(ch.Doc)
+		checkpoint = ch.Seq
+	}
+	return checkpoint, len(changes)
+}
+
+// Replicator periodically pushes src's changes to dst.
+type Replicator struct {
+	src, dst *Store
+	interval time.Duration
+	logf     func(format string, args ...any)
+
+	mu         sync.Mutex
+	checkpoint uint64
+	pushed     int
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// NewReplicator creates a push replicator from src to dst with the given
+// interval (zero means 100ms, suitable for tests and local deployments).
+func NewReplicator(src, dst *Store, interval time.Duration, logf func(string, ...any)) *Replicator {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Replicator{src: src, dst: dst, interval: interval, logf: logf}
+}
+
+// Start launches the replication loop. It may be called once.
+func (r *Replicator) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	r.cancel = cancel
+	r.done = make(chan struct{})
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(r.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				// Final catch-up push so Stop leaves dst current.
+				r.Push()
+				return
+			case <-ticker.C:
+				r.Push()
+			}
+		}
+	}()
+}
+
+// Push performs one replication round immediately. It is safe to call
+// concurrently with the background loop.
+func (r *Replicator) Push() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	next, n := ReplicateOnce(r.src, r.dst, r.checkpoint)
+	r.checkpoint = next
+	r.pushed += n
+	return n
+}
+
+// Pushed returns the total number of documents pushed so far.
+func (r *Replicator) Pushed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pushed
+}
+
+// Stop halts the loop after a final push and waits for it to finish.
+// Stopping a never-started replicator is a no-op.
+func (r *Replicator) Stop() {
+	if r.cancel == nil {
+		return
+	}
+	r.cancel()
+	<-r.done
+	r.cancel = nil
+}

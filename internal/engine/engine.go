@@ -1,0 +1,390 @@
+// Package engine implements SafeWeb's event processing engine (paper
+// §4.3): the runtime environment that hosts application units, tracks
+// security labels across their callbacks, mediates their communication
+// through the event broker, and isolates them from the environment.
+//
+// Its key functions, as in the paper, are (1) control of unit execution by
+// checking and tracking security labels, (2) assignment of privileges to
+// units from the policy, and (3) restriction of access to the environment
+// via the IFC jail.
+//
+// Label tracking follows §4.3 exactly: the engine associates a label set
+// (the paper's __LABELS__, here Context.Labels) with each callback
+// execution, initialised to the labels of the event being processed. When
+// the callback publishes, all tracked labels are attached; the callback may
+// add labels freely and remove labels only with the declassification
+// privilege. The per-unit key-value store labels values per key: reads
+// merge the key's labels into the tracked set, writes save the tracked set
+// as the key's labels.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"safeweb/internal/broker"
+	"safeweb/internal/event"
+	"safeweb/internal/jail"
+	"safeweb/internal/label"
+)
+
+// Unit is an event processing unit: one application component realised "as
+// one or more classes that implement the business logic" (§4.3). Init is
+// called once when the unit is added to the engine; it registers
+// subscriptions and may initialise unit state. Unit implementations must
+// not retain the InitContext after Init returns.
+type Unit interface {
+	// Name returns the unit's principal name for policy lookups.
+	Name() string
+	// Init registers the unit's subscriptions.
+	Init(ctx *InitContext) error
+}
+
+// Callback processes one delivered event within a label-tracking context.
+// Returning an error records a callback failure; the engine keeps running
+// (the error is the application's bug, and SafeWeb's guarantees do not
+// depend on application correctness).
+type Callback func(ctx *Context, ev *event.Event) error
+
+// BusFactory creates the Bus for a unit principal. The in-process broker's
+// Endpoint method and a dialer for the networked broker both satisfy it.
+type BusFactory func(principal string) (broker.Bus, error)
+
+// Config configures an Engine.
+type Config struct {
+	// Policy supplies unit privileges and the privileged-unit flags.
+	// Required.
+	Policy *label.Policy
+	// Bus creates each unit's broker connection. Required.
+	Bus BusFactory
+	// Audit receives jail violations; nil allocates a shared audit.
+	Audit *jail.Audit
+	// QueueSize is the per-subscription event queue length. Queues
+	// decouple broker delivery from callback execution (the paper's
+	// STOMP client runs callbacks on fresh threads); a bounded queue
+	// gives back-pressure instead of unbounded memory growth.
+	// Zero means 256.
+	QueueSize int
+	// OnCallbackError observes callback failures and panics; nil logs.
+	OnCallbackError func(unit string, ev *event.Event, err error)
+	// Logf logs engine events; nil uses log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	// EventsProcessed counts callback invocations completed.
+	EventsProcessed uint64
+	// CallbackErrors counts callbacks that returned an error or panicked.
+	CallbackErrors uint64
+	// FlowViolations counts denied label operations (declassify/endorse
+	// without privilege).
+	FlowViolations uint64
+}
+
+// Engine hosts units. Create with New, add units with AddUnit, then Stop
+// to tear down.
+type Engine struct {
+	cfg   Config
+	audit *jail.Audit
+
+	mu     sync.Mutex
+	units  map[string]*unitRuntime
+	closed bool
+
+	pending pendingTracker // in-flight events across all queues
+
+	processed      atomic.Uint64
+	callbackErrors atomic.Uint64
+	flowViolations atomic.Uint64
+}
+
+// unitRuntime is the engine's per-unit state.
+type unitRuntime struct {
+	name       string
+	privileged bool
+	privs      *label.Privileges
+	jail       *jail.Jail
+	bus        broker.Bus
+	store      *kvStore
+
+	queues []chan *queuedEvent
+	wg     sync.WaitGroup
+}
+
+type queuedEvent struct {
+	ev *event.Event
+	cb Callback
+}
+
+// New creates an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("engine: Config.Policy is required")
+	}
+	if cfg.Bus == nil {
+		return nil, errors.New("engine: Config.Bus is required")
+	}
+	if cfg.QueueSize == 0 {
+		cfg.QueueSize = 256
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	audit := cfg.Audit
+	if audit == nil {
+		audit = &jail.Audit{}
+	}
+	return &Engine{
+		cfg:   cfg,
+		audit: audit,
+		units: make(map[string]*unitRuntime),
+	}, nil
+}
+
+// Audit returns the engine's jail audit log.
+func (e *Engine) Audit() *jail.Audit { return e.audit }
+
+// Stats returns a snapshot of engine counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		EventsProcessed: e.processed.Load(),
+		CallbackErrors:  e.callbackErrors.Load(),
+		FlowViolations:  e.flowViolations.Load(),
+	}
+}
+
+// AddUnit configures, instantiates and runs a unit (paper: "The engine
+// configures, instantiates and runs units"). The unit's privileges and
+// privileged flag come from the policy under the unit's name.
+func (e *Engine) AddUnit(u Unit) error {
+	name := u.Name()
+	if name == "" {
+		return errors.New("engine: unit with empty name")
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return errors.New("engine: closed")
+	}
+	if _, dup := e.units[name]; dup {
+		e.mu.Unlock()
+		return fmt.Errorf("engine: duplicate unit %q", name)
+	}
+	e.mu.Unlock()
+
+	bus, err := e.cfg.Bus(name)
+	if err != nil {
+		return fmt.Errorf("engine: bus for unit %q: %w", name, err)
+	}
+	privileged := e.cfg.Policy.IsPrivileged(name)
+	rt := &unitRuntime{
+		name:       name,
+		privileged: privileged,
+		privs:      e.cfg.Policy.PrivilegesOf(name),
+		jail:       jail.New(name, privileged, e.audit),
+		bus:        bus,
+		store:      newKVStore(),
+	}
+
+	// The unit's initialisation runs inside the jail too (paper Fig. 2,
+	// step 1: $SAFE=4 prevents the unit's initialisation code from
+	// performing I/O). Capability mediation covers that here: Init only
+	// receives the restricted InitContext.
+	ictx := &InitContext{engine: e, rt: rt}
+	if err := u.Init(ictx); err != nil {
+		_ = bus.Close()
+		return fmt.Errorf("engine: init unit %q: %w", name, err)
+	}
+	ictx.engine = nil // invalidate retained contexts
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		_ = bus.Close()
+		return errors.New("engine: closed")
+	}
+	e.units[name] = rt
+	return nil
+}
+
+// Drain blocks until every queued event has been processed and the engine
+// has been quiescent for a short interval. It is intended for tests and
+// benchmarks that publish a batch and then assert on results; external
+// publishers must be quiescent while draining. The quiescence interval
+// covers deliveries still in flight on broker connections (with the
+// networked broker, events travel over TCP and are not yet counted while
+// on the wire).
+func (e *Engine) Drain() {
+	for {
+		e.pending.wait()
+		before := e.processed.Load()
+		time.Sleep(2 * time.Millisecond)
+		if e.pending.count() == 0 && e.processed.Load() == before {
+			return
+		}
+	}
+}
+
+// pendingTracker counts in-flight events. Unlike sync.WaitGroup it
+// permits add() racing wait() from zero, which happens with networked
+// brokers where deliveries arrive on connection read goroutines.
+type pendingTracker struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+func (p *pendingTracker) add(delta int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cond == nil {
+		p.cond = sync.NewCond(&p.mu)
+	}
+	p.n += delta
+	if p.n <= 0 {
+		p.cond.Broadcast()
+	}
+}
+
+func (p *pendingTracker) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
+}
+
+func (p *pendingTracker) wait() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cond == nil {
+		p.cond = sync.NewCond(&p.mu)
+	}
+	for p.n > 0 {
+		p.cond.Wait()
+	}
+}
+
+// Stop drains in-flight work, closes unit buses and stops queue workers.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	units := make([]*unitRuntime, 0, len(e.units))
+	for _, rt := range e.units {
+		units = append(units, rt)
+	}
+	e.mu.Unlock()
+
+	// Stop inflow first, then drain.
+	for _, rt := range units {
+		_ = rt.bus.Close()
+	}
+	e.pending.wait()
+	for _, rt := range units {
+		for _, q := range rt.queues {
+			close(q)
+		}
+		rt.wg.Wait()
+	}
+}
+
+// runCallback executes one callback invocation with label tracking and
+// panic containment.
+func (e *Engine) runCallback(rt *unitRuntime, cb Callback, ev *event.Event) {
+	defer e.pending.add(-1)
+	ctx := &Context{
+		engine: e,
+		rt:     rt,
+		labels: ev.Labels, // __LABELS__ initialised to the event's labels (§4.3)
+	}
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("engine: callback panic in unit %q: %v", rt.name, r)
+			}
+		}()
+		return cb(ctx, ev)
+	}()
+	e.processed.Add(1)
+	if err != nil {
+		e.callbackErrors.Add(1)
+		if e.cfg.OnCallbackError != nil {
+			e.cfg.OnCallbackError(rt.name, ev, err)
+		} else {
+			e.cfg.Logf("engine: unit %q callback error: %v", rt.name, err)
+		}
+	}
+}
+
+// InitContext is the restricted capability surface available to a unit
+// during Init.
+type InitContext struct {
+	engine *Engine
+	rt     *unitRuntime
+}
+
+// Name returns the unit's name.
+func (c *InitContext) Name() string { return c.rt.name }
+
+// Jail returns the unit's jail, through which privileged units obtain I/O
+// capabilities.
+func (c *InitContext) Jail() *jail.Jail { return c.rt.jail }
+
+// Subscribe registers a callback for events on the topic matching the
+// optional SQL-92 selector. The engine narrows delivery to the unit's
+// clearance at the broker ("the engine reads the set of labels from the
+// unit's policy file for which the unit has clearance privileges... this
+// set is used to check that a matching event can be processed", §4.3).
+//
+// Each subscription processes its events sequentially on a dedicated
+// worker, so a unit's per-subscription state sees events in order;
+// different subscriptions of the same unit run concurrently and must share
+// state only through the labelled store.
+func (c *InitContext) Subscribe(topic, sel string, cb Callback) error {
+	if c.engine == nil {
+		return errors.New("engine: InitContext used after Init returned")
+	}
+	if cb == nil {
+		return errors.New("engine: nil callback")
+	}
+	e, rt := c.engine, c.rt
+
+	queue := make(chan *queuedEvent, e.cfg.QueueSize)
+	rt.queues = append(rt.queues, queue)
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		for qe := range queue {
+			e.runCallback(rt, qe.cb, qe.ev)
+		}
+	}()
+
+	_, err := rt.bus.Subscribe(topic, sel, func(ev *event.Event) {
+		e.pending.add(1)
+		queue <- &queuedEvent{ev: ev, cb: cb}
+	})
+	if err != nil {
+		return fmt.Errorf("engine: subscribe unit %q to %q: %w", rt.name, topic, err)
+	}
+	return nil
+}
+
+// Publish publishes an event from initialisation code with the given
+// labels; it is primarily used by import units that seed topics at
+// startup. Label rules are identical to Context.Publish with an empty
+// tracked set.
+func (c *InitContext) Publish(topic string, attrs map[string]string, body []byte, opts ...PublishOption) error {
+	if c.engine == nil {
+		return errors.New("engine: InitContext used after Init returned")
+	}
+	ctx := &Context{engine: c.engine, rt: c.rt}
+	return ctx.Publish(topic, attrs, body, opts...)
+}

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+
+	"safeweb/internal/label"
+)
+
+// kvStore is the unit-specific key-value store with labels associated with
+// keys (paper §4.3: "to support stateful units, the engine provides a
+// unit-specific key-value store with labels associated with keys. It can
+// be used for reading or storing values, thus allowing different callbacks
+// to communicate by exchanging state between them").
+//
+// The store is safe for concurrent use: a unit's different subscriptions
+// run on separate workers.
+type kvStore struct {
+	mu      sync.Mutex
+	entries map[string]kvEntry
+}
+
+type kvEntry struct {
+	value  string
+	labels label.Set
+}
+
+func newKVStore() *kvStore {
+	return &kvStore{entries: make(map[string]kvEntry)}
+}
+
+func (s *kvStore) get(key string) (string, label.Set, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return "", nil, false
+	}
+	return e.value, e.labels, true
+}
+
+func (s *kvStore) set(key, value string, labels label.Set) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[key] = kvEntry{value: value, labels: labels}
+}
+
+func (s *kvStore) delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, key)
+}
+
+func (s *kvStore) keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for k := range s.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,23 @@
+package engine
+
+// FuncUnit adapts a name and an init function to the Unit interface, for
+// small units and tests.
+type FuncUnit struct {
+	// UnitName is the unit's principal name.
+	UnitName string
+	// InitFunc registers the unit's subscriptions.
+	InitFunc func(ctx *InitContext) error
+}
+
+var _ Unit = (*FuncUnit)(nil)
+
+// Name implements Unit.
+func (u *FuncUnit) Name() string { return u.UnitName }
+
+// Init implements Unit.
+func (u *FuncUnit) Init(ctx *InitContext) error {
+	if u.InitFunc == nil {
+		return nil
+	}
+	return u.InitFunc(ctx)
+}

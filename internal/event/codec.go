@@ -1,0 +1,72 @@
+package event
+
+import (
+	"fmt"
+
+	"safeweb/internal/label"
+)
+
+// Wire-format header names. The paper encodes labels "as event headers with
+// special semantics in SEND and SUBSCRIBE messages" (§4.2); these are those
+// headers.
+const (
+	// HeaderLabels carries the event's label set as a comma-separated
+	// list of label URIs on SEND/MESSAGE frames.
+	HeaderLabels = ReservedPrefix + "labels"
+	// HeaderClearance carries a subscriber's clearance set on SUBSCRIBE
+	// frames, as narrowed by the engine from the unit's policy.
+	HeaderClearance = ReservedPrefix + "clearance"
+	// HeaderDestination is STOMP's standard destination header.
+	HeaderDestination = "destination"
+)
+
+// MarshalHeaders flattens the event into STOMP headers and a body. The
+// returned map contains the destination, every attribute, and the label
+// header.
+func MarshalHeaders(e *Event) (map[string]string, []byte, error) {
+	if err := e.Validate(); err != nil {
+		return nil, nil, err
+	}
+	headers := make(map[string]string, len(e.Attrs)+2)
+	for k, v := range e.Attrs {
+		headers[k] = v
+	}
+	headers[HeaderDestination] = e.Topic
+	if !e.Labels.IsEmpty() {
+		headers[HeaderLabels] = e.Labels.String()
+	}
+	return headers, e.Body, nil
+}
+
+// UnmarshalHeaders reconstructs an event from STOMP headers and a body.
+// Standard STOMP headers that are not event attributes (subscription,
+// message-id, content-length, receipt) are skipped.
+func UnmarshalHeaders(headers map[string]string, body []byte) (*Event, error) {
+	e := &Event{
+		Topic: headers[HeaderDestination],
+		Attrs: make(map[string]string, len(headers)),
+	}
+	if e.Topic == "" {
+		return nil, fmt.Errorf("event: missing %s header", HeaderDestination)
+	}
+	for k, v := range headers {
+		switch k {
+		case HeaderDestination, "subscription", "message-id", "content-length", "receipt", "receipt-id", "id", "ack", "selector", "transaction":
+			continue
+		case HeaderLabels:
+			labels, err := label.ParseSet(v)
+			if err != nil {
+				return nil, fmt.Errorf("event: bad label header: %w", err)
+			}
+			e.Labels = labels
+			continue
+		case HeaderClearance:
+			continue
+		}
+		e.Attrs[k] = v
+	}
+	if len(body) > 0 {
+		e.Body = append([]byte(nil), body...)
+	}
+	return e, nil
+}

@@ -1,0 +1,163 @@
+// Package event defines SafeWeb events: the unit of data exchanged between
+// processing components in the backend (paper §4.1).
+//
+// An event consists of a set of key-value attribute pairs and an optional
+// data payload; keys, values and the body are untyped strings. Every event
+// carries a set of security labels. Deriving an event from others composes
+// labels per the sticky/fragile rules of package label.
+package event
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"safeweb/internal/label"
+)
+
+// ErrReservedAttribute is returned when application code attempts to set an
+// attribute in the reserved "x-safeweb-" namespace used for label transport.
+var ErrReservedAttribute = errors.New("event: attribute name is reserved")
+
+// ReservedPrefix is the attribute namespace reserved for SafeWeb metadata;
+// labels travel in these attributes on the wire, so application code may
+// not set them directly.
+const ReservedPrefix = "x-safeweb-"
+
+// Event is a labelled message. Events are created by units and by the
+// producer components that import data into the system. An Event and its
+// attribute map must not be mutated after publishing; units receive
+// defensive copies from the engine.
+type Event struct {
+	// Topic is the destination the event is published to,
+	// e.g. "/patient_report".
+	Topic string
+	// Attrs holds the key-value attribute pairs. Keys and values are
+	// untyped strings.
+	Attrs map[string]string
+	// Body is the optional payload.
+	Body []byte
+	// Labels is the event's security label set (confidentiality and
+	// integrity labels together).
+	Labels label.Set
+}
+
+// New creates an event on the given topic with a copy of the given
+// attributes and labels.
+func New(topic string, attrs map[string]string, labels ...label.Label) *Event {
+	e := &Event{
+		Topic:  topic,
+		Attrs:  make(map[string]string, len(attrs)),
+		Labels: label.NewSet(labels...),
+	}
+	for k, v := range attrs {
+		e.Attrs[k] = v
+	}
+	return e
+}
+
+// Validate checks structural invariants: a non-empty topic and no reserved
+// attribute names.
+func (e *Event) Validate() error {
+	if e.Topic == "" {
+		return errors.New("event: empty topic")
+	}
+	for k := range e.Attrs {
+		if strings.HasPrefix(k, ReservedPrefix) {
+			return fmt.Errorf("%w: %q", ErrReservedAttribute, k)
+		}
+	}
+	return nil
+}
+
+// Get returns the attribute value for key and whether it was present.
+func (e *Event) Get(key string) (string, bool) {
+	v, ok := e.Attrs[key]
+	return v, ok
+}
+
+// Attr returns the attribute value for key, or "" if absent.
+func (e *Event) Attr(key string) string { return e.Attrs[key] }
+
+// Set sets an attribute, initialising the map if needed. It returns an
+// error for reserved attribute names.
+func (e *Event) Set(key, value string) error {
+	if strings.HasPrefix(key, ReservedPrefix) {
+		return fmt.Errorf("%w: %q", ErrReservedAttribute, key)
+	}
+	if e.Attrs == nil {
+		e.Attrs = make(map[string]string)
+	}
+	e.Attrs[key] = value
+	return nil
+}
+
+// Clone returns a deep copy of the event. Label sets are immutable by
+// convention and therefore shared.
+func (e *Event) Clone() *Event {
+	out := &Event{
+		Topic:  e.Topic,
+		Labels: e.Labels,
+	}
+	if e.Attrs != nil {
+		out.Attrs = make(map[string]string, len(e.Attrs))
+		for k, v := range e.Attrs {
+			out.Attrs[k] = v
+		}
+	}
+	if e.Body != nil {
+		out.Body = append([]byte(nil), e.Body...)
+	}
+	return out
+}
+
+// Derive creates a new event on the given topic whose labels are composed
+// from the labels of the source events: confidentiality labels are sticky
+// (union) and integrity labels are fragile (intersection). This is the only
+// supported way for unit code to construct output events from inputs, so
+// the composition rule cannot be forgotten.
+func Derive(topic string, attrs map[string]string, body []byte, sources ...*Event) *Event {
+	sets := make([]label.Set, len(sources))
+	for i, src := range sources {
+		sets[i] = src.Labels
+	}
+	e := New(topic, attrs)
+	e.Body = append([]byte(nil), body...)
+	e.Labels = label.Derive(sets...)
+	return e
+}
+
+// SortedKeys returns the attribute keys in lexicographic order, for
+// deterministic encoding and display.
+func (e *Event) SortedKeys() []string {
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String renders a compact human-readable form for logs and debugging.
+// Attribute values are not truncated; events in SafeWeb deployments are
+// small records, not blobs.
+func (e *Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Topic)
+	b.WriteByte('{')
+	for i, k := range e.SortedKeys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", k, e.Attrs[k])
+	}
+	b.WriteByte('}')
+	if !e.Labels.IsEmpty() {
+		fmt.Fprintf(&b, "[%s]", e.Labels)
+	}
+	if len(e.Body) > 0 {
+		fmt.Fprintf(&b, "+%dB", len(e.Body))
+	}
+	return b.String()
+}

@@ -1,0 +1,185 @@
+// Package federation implements the paper's future-work deployment model
+// (§7): "Scaling up will involve creating separate, independent regional
+// instances of SafeWeb, which can interact with each other in a secure
+// fashion."
+//
+// A Bridge connects two SafeWeb instances. It subscribes to selected
+// topics on the source instance's broker and republishes matching events
+// into the destination instance, translating labels at the boundary
+// through an explicit mapping.
+//
+// Security composes from the existing mechanisms, with no new trusted
+// machinery beyond the mapping itself:
+//
+//   - The *source* policy decides what may leave: the bridge connects as
+//     an ordinary principal, so the source broker's clearance filtering
+//     withholds any event whose labels the bridge is not cleared for.
+//     Patient-level data simply never reaches an under-privileged bridge.
+//   - The *mapping* decides how foreign labels translate into the
+//     destination's label namespace; events whose labels the mapping
+//     does not cover are dropped, fail-closed.
+//   - The *destination* policy decides what the bridge may assert:
+//     integrity labels on forwarded events need the bridge's endorsement
+//     privilege at the destination broker, and destination units still
+//     need clearance over the mapped labels to see anything.
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"safeweb/internal/broker"
+	"safeweb/internal/event"
+	"safeweb/internal/label"
+)
+
+// LabelMap translates one source label into the destination namespace.
+// Returning ok=false marks the label untranslatable, which drops the
+// whole event (fail-closed: an untranslatable label might protect
+// anything).
+type LabelMap func(l label.Label) (mapped label.Label, ok bool)
+
+// PrefixMap builds the common mapping: labels whose name starts with
+// srcPrefix are rewritten under dstPrefix, all other labels are
+// untranslatable. Kinds are preserved.
+func PrefixMap(srcPrefix, dstPrefix string) LabelMap {
+	return func(l label.Label) (label.Label, bool) {
+		name := l.Name()
+		if len(name) < len(srcPrefix) || name[:len(srcPrefix)] != srcPrefix {
+			return label.Label{}, false
+		}
+		return label.New(l.Kind(), dstPrefix+name[len(srcPrefix):]), true
+	}
+}
+
+// Rule forwards one topic.
+type Rule struct {
+	// Topic is the source topic pattern (broker.TopicMatches syntax).
+	Topic string
+	// Selector optionally filters content (SQL-92).
+	Selector string
+	// RemoteTopic renames the topic at the destination; empty keeps it.
+	RemoteTopic string
+	// Map translates labels; nil forwards only unlabelled events.
+	Map LabelMap
+}
+
+// Stats counts bridge activity.
+type Stats struct {
+	// Forwarded counts events republished into the destination.
+	Forwarded uint64
+	// DroppedUnmappable counts events dropped because a label had no
+	// translation.
+	DroppedUnmappable uint64
+	// Errors counts destination publish failures.
+	Errors uint64
+}
+
+// Bridge is a running federation link. Create with New, release with
+// Close.
+type Bridge struct {
+	src   broker.Bus
+	dst   broker.Bus
+	rules []Rule
+
+	mu     sync.Mutex
+	subIDs []string
+	closed bool
+
+	forwarded atomic.Uint64
+	dropped   atomic.Uint64
+	errs      atomic.Uint64
+}
+
+// New connects src to dst under the given rules and starts forwarding.
+// Both buses are typically broker endpoints or networked broker clients
+// whose principals carry the bridge's privileges in the respective
+// policies.
+func New(src, dst broker.Bus, rules []Rule) (*Bridge, error) {
+	if len(rules) == 0 {
+		return nil, errors.New("federation: no rules")
+	}
+	b := &Bridge{src: src, dst: dst, rules: rules}
+	for i := range rules {
+		rule := rules[i] // capture per iteration
+		id, err := src.Subscribe(rule.Topic, rule.Selector, func(ev *event.Event) {
+			b.forward(rule, ev)
+		})
+		if err != nil {
+			_ = b.Close()
+			return nil, fmt.Errorf("federation: subscribe %s: %w", rule.Topic, err)
+		}
+		b.mu.Lock()
+		b.subIDs = append(b.subIDs, id)
+		b.mu.Unlock()
+	}
+	return b, nil
+}
+
+// forward maps one event across the boundary.
+func (b *Bridge) forward(rule Rule, ev *event.Event) {
+	mapped, ok := b.mapLabels(rule, ev.Labels)
+	if !ok {
+		b.dropped.Add(1)
+		return
+	}
+	out := ev.Clone()
+	out.Labels = mapped
+	if rule.RemoteTopic != "" {
+		out.Topic = rule.RemoteTopic
+	}
+	if err := b.dst.Publish(out); err != nil {
+		b.errs.Add(1)
+	} else {
+		b.forwarded.Add(1)
+	}
+}
+
+// mapLabels translates a full label set, failing closed on any
+// untranslatable label.
+func (b *Bridge) mapLabels(rule Rule, labels label.Set) (label.Set, bool) {
+	if labels.IsEmpty() {
+		return nil, true
+	}
+	if rule.Map == nil {
+		return nil, false // labelled event, no mapping: drop
+	}
+	out := make(label.Set, labels.Len())
+	for l := range labels {
+		mapped, ok := rule.Map(l)
+		if !ok {
+			return nil, false
+		}
+		out[mapped] = struct{}{}
+	}
+	return out, true
+}
+
+// Stats returns a snapshot of bridge counters.
+func (b *Bridge) Stats() Stats {
+	return Stats{
+		Forwarded:         b.forwarded.Load(),
+		DroppedUnmappable: b.dropped.Load(),
+		Errors:            b.errs.Load(),
+	}
+}
+
+// Close cancels the bridge's subscriptions. The underlying buses belong
+// to the caller and stay open.
+func (b *Bridge) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	var firstErr error
+	for _, id := range b.subIDs {
+		if err := b.src.Unsubscribe(id); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,243 @@
+package federation
+
+import (
+	"testing"
+
+	"safeweb/internal/broker"
+	"safeweb/internal/event"
+	"safeweb/internal/label"
+)
+
+// twoInstances builds two independent brokers ("east" and "west") with
+// their own policies, as two regional SafeWeb instances would run.
+func twoInstances(t *testing.T) (east, west *broker.Broker) {
+	t.Helper()
+	eastPolicy := label.NewPolicy()
+	// The outbound bridge principal may receive only regional aggregates
+	// — NOT patient data. This is the source-side export policy.
+	eastPolicy.Grant("bridge-out", label.Clearance,
+		label.MustParsePattern("label:conf:east.nhs.uk/regional-agg"))
+	eastPolicy.SetPrincipal("east-producer", label.NewPrivileges().
+		Grant(label.Clearance, label.MustParsePattern("label:conf:east.nhs.uk/*")).
+		Grant(label.Endorse, label.MustParsePattern("label:int:east.nhs.uk/*")), true)
+
+	westPolicy := label.NewPolicy()
+	// West units see federated east aggregates under west's namespace.
+	westPolicy.Grant("west-consumer", label.Clearance,
+		label.MustParsePattern("label:conf:west.nhs.uk/federated/east/*"))
+	// The inbound bridge principal may endorse federated integrity
+	// labels at the destination.
+	westPolicy.Grant("bridge-in", label.Endorse,
+		label.MustParsePattern("label:int:west.nhs.uk/federated/east/*"))
+
+	east = broker.New(eastPolicy)
+	west = broker.New(westPolicy)
+	t.Cleanup(func() {
+		east.Close()
+		west.Close()
+	})
+	return east, west
+}
+
+func eastAgg() label.Label { return label.Conf("east.nhs.uk/regional-agg") }
+
+func fedRule() Rule {
+	return Rule{
+		Topic:       "/metrics/regional",
+		RemoteTopic: "/federated/east/metrics",
+		Map:         PrefixMap("east.nhs.uk/", "west.nhs.uk/federated/east/"),
+	}
+}
+
+func TestForwardsMappedAggregates(t *testing.T) {
+	east, west := twoInstances(t)
+
+	got := make(chan *event.Event, 4)
+	if _, err := west.Subscribe("west-consumer", "/federated/east/metrics", "", func(ev *event.Event) {
+		got <- ev
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	bridge, err := New(east.Endpoint("bridge-out"), west.Endpoint("bridge-in"), []Rule{fedRule()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer bridge.Close()
+
+	ev := event.New("/metrics/regional", map[string]string{"cases": "45"}, eastAgg())
+	if err := east.Publish("east-producer", ev); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case fed := <-got:
+		want := label.Conf("west.nhs.uk/federated/east/regional-agg")
+		if !fed.Labels.Equal(label.NewSet(want)) {
+			t.Errorf("federated labels = %v, want %v", fed.Labels, want)
+		}
+		if fed.Attr("cases") != "45" {
+			t.Errorf("attrs = %v", fed.Attrs)
+		}
+		if fed.Topic != "/federated/east/metrics" {
+			t.Errorf("topic = %q", fed.Topic)
+		}
+	default:
+		t.Fatal("aggregate not forwarded")
+	}
+	if s := bridge.Stats(); s.Forwarded != 1 || s.DroppedUnmappable != 0 || s.Errors != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestPatientDataNeverLeaves: the export policy keeps patient-labelled
+// events away from the bridge even if a rule covers their topic.
+func TestPatientDataNeverLeaves(t *testing.T) {
+	east, west := twoInstances(t)
+
+	got := make(chan *event.Event, 4)
+	if _, err := west.Subscribe("west-consumer", "*", "", func(ev *event.Event) {
+		got <- ev
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Even a (misconfigured) catch-all rule cannot exfiltrate: the
+	// source broker withholds events the bridge has no clearance for.
+	rule := Rule{Topic: "*", Map: PrefixMap("east.nhs.uk/", "west.nhs.uk/federated/east/")}
+	bridge, err := New(east.Endpoint("bridge-out"), west.Endpoint("bridge-in"), []Rule{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+
+	patientEv := event.New("/patient_report", map[string]string{"patient_id": "1"},
+		label.Conf("east.nhs.uk/patient/1"))
+	if err := east.Publish("east-producer", patientEv); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("patient data crossed the federation boundary")
+	}
+	if s := bridge.Stats(); s.Forwarded != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestUnmappableLabelDropsEvent: labels outside the mapping's namespace
+// fail closed.
+func TestUnmappableLabelDropsEvent(t *testing.T) {
+	east, west := twoInstances(t)
+	// Widen the bridge's source clearance so the event reaches it; the
+	// mapping must still refuse.
+	east.Policy().Grant("bridge-out", label.Clearance, label.MustParsePattern("label:conf:*"))
+
+	bridge, err := New(east.Endpoint("bridge-out"), west.Endpoint("bridge-in"), []Rule{fedRule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+
+	foreign := event.New("/metrics/regional", nil, label.Conf("other.org/agg"))
+	if err := east.Publish("east-producer2", foreign); err != nil {
+		// east-producer2 holds no privileges but needs none for conf
+		// labels.
+		t.Fatal(err)
+	}
+	if s := bridge.Stats(); s.DroppedUnmappable != 1 || s.Forwarded != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestLabelledEventWithoutMapDrops: a rule without a Map forwards only
+// unlabelled events.
+func TestLabelledEventWithoutMapDrops(t *testing.T) {
+	east, west := twoInstances(t)
+
+	got := make(chan *event.Event, 4)
+	if _, err := west.Subscribe("west-consumer", "/public", "", func(ev *event.Event) {
+		got <- ev
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bridge, err := New(east.Endpoint("bridge-out"), west.Endpoint("bridge-in"),
+		[]Rule{{Topic: "/public"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+
+	if err := east.Publish("east-producer", event.New("/public", map[string]string{"k": "v"})); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("unlabelled event not forwarded: %d", len(got))
+	}
+	if err := east.Publish("east-producer", event.New("/public", nil, eastAgg())); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatal("labelled event forwarded without a map")
+	}
+	if s := bridge.Stats(); s.DroppedUnmappable != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestDestinationEndorsementEnforced: forwarding an integrity label the
+// bridge cannot endorse at the destination fails and is counted.
+func TestDestinationEndorsementEnforced(t *testing.T) {
+	east, west := twoInstances(t)
+	east.Policy().Grant("bridge-out", label.Clearance, label.MustParsePattern("label:conf:*"))
+
+	// Map integrity labels outside the bridge's destination endorsement.
+	rule := Rule{
+		Topic: "/metrics/regional",
+		Map:   PrefixMap("east.nhs.uk/", "west.nhs.uk/unendorsable/"),
+	}
+	bridge, err := New(east.Endpoint("bridge-out"), west.Endpoint("bridge-in"), []Rule{rule})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+
+	ev := event.New("/metrics/regional", nil, label.Int("east.nhs.uk/app"))
+	if err := east.Publish("east-producer", ev); err != nil {
+		t.Fatal(err)
+	}
+	if s := bridge.Stats(); s.Errors != 1 || s.Forwarded != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestBridgeValidationAndClose(t *testing.T) {
+	east, west := twoInstances(t)
+	if _, err := New(east.Endpoint("b"), west.Endpoint("b"), nil); err == nil {
+		t.Error("bridge without rules accepted")
+	}
+	bridge, err := New(east.Endpoint("bridge-out"), west.Endpoint("bridge-in"), []Rule{fedRule()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bridge.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := bridge.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestPrefixMap(t *testing.T) {
+	m := PrefixMap("east.nhs.uk/", "west.nhs.uk/federated/east/")
+	mapped, ok := m(label.Conf("east.nhs.uk/regional-agg"))
+	if !ok || mapped != label.Conf("west.nhs.uk/federated/east/regional-agg") {
+		t.Errorf("mapped = %v ok=%v", mapped, ok)
+	}
+	mapped, ok = m(label.Int("east.nhs.uk/app"))
+	if !ok || mapped.Kind() != label.Integrity {
+		t.Errorf("integrity mapping = %v ok=%v", mapped, ok)
+	}
+	if _, ok := m(label.Conf("other.org/x")); ok {
+		t.Error("foreign label mapped")
+	}
+}

@@ -1,0 +1,36 @@
+package label
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestExamplePolicyFileLoads keeps policies/mdt-example.json — the sample
+// shipped for cmd/safeweb-broker — loadable and semantically sensible.
+func TestExamplePolicyFileLoads(t *testing.T) {
+	path := filepath.Join("..", "..", "policies", "mdt-example.json")
+	p, err := LoadPolicy(path)
+	if err != nil {
+		t.Fatalf("LoadPolicy(%s): %v", path, err)
+	}
+	if !p.IsPrivileged("mdt-data-producer") || !p.IsPrivileged("mdt-data-storage") {
+		t.Error("privileged units lost their flag")
+	}
+	if p.IsPrivileged("mdt-data-aggregator") {
+		t.Error("aggregator must not be privileged")
+	}
+	agg := p.PrivilegesOf("mdt-data-aggregator")
+	if !agg.Has(Clearance, Conf("ecric.org.uk/mdt/7")) {
+		t.Error("aggregator clearance missing")
+	}
+	if agg.Has(Declassify, Conf("ecric.org.uk/mdt/7")) {
+		t.Error("aggregator must not declassify")
+	}
+	bridge := p.PrivilegesOf("bridge-out")
+	if bridge.Has(Clearance, Conf("ecric.org.uk/patient/1")) {
+		t.Error("bridge can read patient data — export policy broken")
+	}
+	if !bridge.Has(Clearance, Conf("ecric.org.uk/regional-agg")) {
+		t.Error("bridge missing aggregate clearance")
+	}
+}

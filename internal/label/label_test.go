@@ -1,0 +1,207 @@
+package label
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		uri  string
+		kind Kind
+		lbl  string
+	}{
+		{"patient conf", "label:conf:ecric.org.uk/patient/33812769", Confidentiality, "ecric.org.uk/patient/33812769"},
+		{"mdt integrity", "label:int:ecric.org.uk/mdt", Integrity, "ecric.org.uk/mdt"},
+		{"short name", "label:conf:x", Confidentiality, "x"},
+		{"name with colon", "label:int:host:8080/path", Integrity, "host:8080/path"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			l, err := Parse(tt.uri)
+			if err != nil {
+				t.Fatalf("Parse(%q) error: %v", tt.uri, err)
+			}
+			if l.Kind() != tt.kind {
+				t.Errorf("Kind = %v, want %v", l.Kind(), tt.kind)
+			}
+			if l.Name() != tt.lbl {
+				t.Errorf("Name = %q, want %q", l.Name(), tt.lbl)
+			}
+			if got := l.String(); got != tt.uri {
+				t.Errorf("String = %q, want %q", got, tt.uri)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"conf:x",
+		"label:",
+		"label:conf",
+		"label:conf:",
+		"label:secret:x",
+		"http://example.com",
+	}
+	for _, uri := range bad {
+		if _, err := Parse(uri); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", uri)
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("invalid kind", func() { New(Kind(99), "x") })
+	assertPanics("empty name", func() { New(Confidentiality, "") })
+}
+
+func TestLabelTextMarshalling(t *testing.T) {
+	l := Conf("ecric.org.uk/mdt/7")
+	text, err := l.MarshalText()
+	if err != nil {
+		t.Fatalf("MarshalText: %v", err)
+	}
+	var back Label
+	if err := back.UnmarshalText(text); err != nil {
+		t.Fatalf("UnmarshalText: %v", err)
+	}
+	if back != l {
+		t.Errorf("round trip = %v, want %v", back, l)
+	}
+
+	var zero Label
+	if _, err := zero.MarshalText(); err == nil {
+		t.Error("MarshalText of zero label succeeded, want error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Confidentiality.String() != "conf" || Integrity.String() != "int" {
+		t.Errorf("kind strings wrong: %v %v", Confidentiality, Integrity)
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Errorf("unknown kind string = %q", Kind(42).String())
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	a := Conf("a")
+	b := Conf("b")
+	c := Int("c")
+
+	s := NewSet(a, b)
+	if s.Len() != 2 || !s.Contains(a) || !s.Contains(b) || s.Contains(c) {
+		t.Fatalf("NewSet wrong contents: %v", s)
+	}
+	if NewSet().Len() != 0 || !NewSet().IsEmpty() {
+		t.Error("empty set not empty")
+	}
+
+	with := s.With(c)
+	if with.Len() != 3 || s.Len() != 2 {
+		t.Error("With mutated receiver or wrong result")
+	}
+	without := with.Without(a)
+	if without.Contains(a) || !without.Contains(b) || with.Len() != 3 {
+		t.Error("Without wrong or mutated receiver")
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	a, b, c := Conf("a"), Conf("b"), Conf("c")
+	s1 := NewSet(a, b)
+	s2 := NewSet(b, c)
+
+	if got := s1.Union(s2); got.Len() != 3 {
+		t.Errorf("Union = %v", got)
+	}
+	if got := s1.Intersect(s2); got.Len() != 1 || !got.Contains(b) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !NewSet(a).SubsetOf(s1) || s1.SubsetOf(NewSet(a)) {
+		t.Error("SubsetOf wrong")
+	}
+	if !s1.Equal(NewSet(b, a)) || s1.Equal(s2) {
+		t.Error("Equal wrong")
+	}
+}
+
+func TestSetKindFiltering(t *testing.T) {
+	s := NewSet(Conf("a"), Conf("b"), Int("i"))
+	if got := s.Confidentiality(); got.Len() != 2 {
+		t.Errorf("Confidentiality = %v", got)
+	}
+	if got := s.Integrity(); got.Len() != 1 || !got.Contains(Int("i")) {
+		t.Errorf("Integrity = %v", got)
+	}
+}
+
+func TestSetStringAndParse(t *testing.T) {
+	s := NewSet(Conf("b"), Conf("a"), Int("z"))
+	str := s.String()
+	back, err := ParseSet(str)
+	if err != nil {
+		t.Fatalf("ParseSet(%q): %v", str, err)
+	}
+	if !back.Equal(s) {
+		t.Errorf("round trip = %v, want %v", back, s)
+	}
+
+	// Sorted determinism.
+	if s.String() != s.Clone().String() {
+		t.Error("String not deterministic")
+	}
+
+	// Empty and messy inputs.
+	if got, err := ParseSet(""); err != nil || got.Len() != 0 {
+		t.Errorf("ParseSet(\"\") = %v, %v", got, err)
+	}
+	if got, err := ParseSet(" label:conf:a , ,label:int:b "); err != nil || got.Len() != 2 {
+		t.Errorf("ParseSet messy = %v, %v", got, err)
+	}
+	if _, err := ParseSet("label:conf:a,nonsense"); err == nil {
+		t.Error("ParseSet with bad element succeeded")
+	}
+}
+
+func TestDeriveStickyConfFragileInt(t *testing.T) {
+	p1 := Conf("patient/1")
+	p2 := Conf("patient/2")
+	mdtInt := Int("mdt")
+	otherInt := Int("other")
+
+	src1 := NewSet(p1, mdtInt)
+	src2 := NewSet(p2, mdtInt, otherInt)
+
+	derived := Derive(src1, src2)
+	// Confidentiality is sticky: both patient labels present.
+	if !derived.Contains(p1) || !derived.Contains(p2) {
+		t.Errorf("conf labels not sticky: %v", derived)
+	}
+	// Integrity is fragile: only the common label survives.
+	if !derived.Contains(mdtInt) {
+		t.Errorf("common integrity label lost: %v", derived)
+	}
+	if derived.Contains(otherInt) {
+		t.Errorf("non-common integrity label kept: %v", derived)
+	}
+
+	if got := Derive(); got.Len() != 0 {
+		t.Errorf("Derive() = %v, want empty", got)
+	}
+	if got := Derive(src1); !got.Equal(src1) {
+		t.Errorf("Derive(one) = %v, want %v", got, src1)
+	}
+}

@@ -1,0 +1,201 @@
+package label
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Policy is the data-flow policy specification shared by the event
+// processing engine (unit privileges) and the web frontend (user
+// privileges). The paper assigns privileges to units and requests "through
+// a policy specification file" (§4.1); Policy is the in-memory form and
+// LoadPolicy reads the JSON file format.
+//
+// Policy is safe for concurrent use; the engine reads it on every
+// subscription and publish, and deployments may reload it at runtime.
+type Policy struct {
+	mu         sync.RWMutex
+	principals map[string]*principalEntry
+}
+
+type principalEntry struct {
+	privileged bool
+	privs      *Privileges
+}
+
+// NewPolicy returns an empty policy.
+func NewPolicy() *Policy {
+	return &Policy{principals: make(map[string]*principalEntry)}
+}
+
+// policyFile is the on-disk JSON schema.
+type policyFile struct {
+	Principals map[string]policyPrincipal `json:"principals"`
+}
+
+type policyPrincipal struct {
+	// Privileged marks backend units that run outside the IFC jail
+	// (paper §4.3): they may perform I/O and implicitly declassify any
+	// event they are cleared to receive.
+	Privileged bool `json:"privileged,omitempty"`
+	// Grants map privilege names ("clearance", "declassify", "endorse",
+	// "clearlow") to label patterns.
+	Clearance  []string `json:"clearance,omitempty"`
+	Declassify []string `json:"declassify,omitempty"`
+	Endorse    []string `json:"endorse,omitempty"`
+	ClearLow   []string `json:"clearlow,omitempty"`
+}
+
+// LoadPolicy reads a JSON policy file from disk.
+func LoadPolicy(path string) (*Policy, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("label: open policy: %w", err)
+	}
+	defer f.Close()
+	return ReadPolicy(f)
+}
+
+// ReadPolicy parses a JSON policy document.
+func ReadPolicy(r io.Reader) (*Policy, error) {
+	var file policyFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("label: parse policy: %w", err)
+	}
+	p := NewPolicy()
+	for name, entry := range file.Principals {
+		privs := NewPrivileges()
+		for priv, pats := range map[Privilege][]string{
+			Clearance:  entry.Clearance,
+			Declassify: entry.Declassify,
+			Endorse:    entry.Endorse,
+			ClearLow:   entry.ClearLow,
+		} {
+			for _, pat := range pats {
+				parsed, err := ParsePattern(pat)
+				if err != nil {
+					return nil, fmt.Errorf("label: policy principal %q: %w", name, err)
+				}
+				privs.Grant(priv, parsed)
+			}
+		}
+		p.SetPrincipal(name, privs, entry.Privileged)
+	}
+	return p, nil
+}
+
+// WriteTo serialises the policy as its JSON file format.
+func (p *Policy) WriteTo(w io.Writer) (int64, error) {
+	p.mu.RLock()
+	file := policyFile{Principals: make(map[string]policyPrincipal, len(p.principals))}
+	for name, entry := range p.principals {
+		pp := policyPrincipal{Privileged: entry.privileged}
+		for _, pat := range entry.privs.Patterns(Clearance) {
+			pp.Clearance = append(pp.Clearance, pat.String())
+		}
+		for _, pat := range entry.privs.Patterns(Declassify) {
+			pp.Declassify = append(pp.Declassify, pat.String())
+		}
+		for _, pat := range entry.privs.Patterns(Endorse) {
+			pp.Endorse = append(pp.Endorse, pat.String())
+		}
+		for _, pat := range entry.privs.Patterns(ClearLow) {
+			pp.ClearLow = append(pp.ClearLow, pat.String())
+		}
+		sort.Strings(pp.Clearance)
+		sort.Strings(pp.Declassify)
+		sort.Strings(pp.Endorse)
+		sort.Strings(pp.ClearLow)
+		file.Principals[name] = pp
+	}
+	p.mu.RUnlock()
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return 0, fmt.Errorf("label: encode policy: %w", err)
+	}
+	n, err := w.Write(append(data, '\n'))
+	return int64(n), err
+}
+
+// SetPrincipal installs or replaces the privileges of a principal.
+func (p *Policy) SetPrincipal(name string, privs *Privileges, privileged bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.principals[name] = &principalEntry{privileged: privileged, privs: privs.Clone()}
+}
+
+// RemovePrincipal deletes a principal from the policy.
+func (p *Policy) RemovePrincipal(name string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.principals, name)
+}
+
+// PrivilegesOf returns a copy of the privileges held by the named
+// principal. Unknown principals hold no privileges.
+func (p *Policy) PrivilegesOf(name string) *Privileges {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	entry, ok := p.principals[name]
+	if !ok {
+		return NewPrivileges()
+	}
+	return entry.privs.Clone()
+}
+
+// IsPrivileged reports whether the named principal is marked as a
+// privileged unit (runs outside the IFC jail).
+func (p *Policy) IsPrivileged(name string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	entry, ok := p.principals[name]
+	return ok && entry.privileged
+}
+
+// Principals returns the sorted names of all principals in the policy.
+func (p *Policy) Principals() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, 0, len(p.principals))
+	for name := range p.principals {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Grant adds a single privilege grant to a principal, creating the
+// principal if needed. It is used by label managers that delegate
+// privileges at runtime (paper §4.1 mentions dynamic delegation as an
+// extension of the static policy file).
+func (p *Policy) Grant(principal string, priv Privilege, pat Pattern) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	entry, ok := p.principals[principal]
+	if !ok {
+		entry = &principalEntry{privs: NewPrivileges()}
+		p.principals[principal] = entry
+	}
+	entry.privs.Grant(priv, pat)
+}
+
+// Revoke removes every grant of exactly the given privilege/pattern pair
+// from the principal. It reports whether anything was removed. Revocation
+// is pattern-exact: revoking "label:conf:x/*" does not touch a separate
+// grant of "label:conf:x/y".
+func (p *Policy) Revoke(principal string, priv Privilege, pat Pattern) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	entry, ok := p.principals[principal]
+	if !ok {
+		return false
+	}
+	return entry.privs.revoke(priv, pat)
+}

@@ -1,0 +1,244 @@
+package label
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is an immutable-by-convention set of labels. The zero value (nil) is
+// an empty, usable set. Methods never mutate their receiver; operations that
+// "change" a set return a new one, so sets can be shared freely between
+// events, store entries and callback contexts without defensive copying at
+// every boundary.
+type Set map[Label]struct{}
+
+// NewSet builds a set from the given labels.
+func NewSet(labels ...Label) Set {
+	if len(labels) == 0 {
+		return nil
+	}
+	s := make(Set, len(labels))
+	for _, l := range labels {
+		s[l] = struct{}{}
+	}
+	return s
+}
+
+// ParseSet parses a comma-separated list of label URIs, as used in STOMP
+// headers and policy files. Empty elements are ignored, so both "" and
+// "a,,b" are accepted.
+func ParseSet(s string) (Set, error) {
+	var out Set
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		l, err := Parse(part)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = make(Set)
+		}
+		out[l] = struct{}{}
+	}
+	return out, nil
+}
+
+// Len returns the number of labels in the set.
+func (s Set) Len() int { return len(s) }
+
+// IsEmpty reports whether the set has no labels.
+func (s Set) IsEmpty() bool { return len(s) == 0 }
+
+// Contains reports whether l is in the set.
+func (s Set) Contains(l Label) bool {
+	_, ok := s[l]
+	return ok
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	if s == nil {
+		return nil
+	}
+	out := make(Set, len(s))
+	for l := range s {
+		out[l] = struct{}{}
+	}
+	return out
+}
+
+// With returns a new set containing all labels of s plus the given labels.
+func (s Set) With(labels ...Label) Set {
+	if len(labels) == 0 {
+		return s
+	}
+	out := make(Set, len(s)+len(labels))
+	for l := range s {
+		out[l] = struct{}{}
+	}
+	for _, l := range labels {
+		out[l] = struct{}{}
+	}
+	return out
+}
+
+// Without returns a new set containing all labels of s except the given
+// labels. It performs no privilege checking; callers enforce declassification
+// before using it.
+func (s Set) Without(labels ...Label) Set {
+	if len(s) == 0 {
+		return nil
+	}
+	drop := NewSet(labels...)
+	var out Set
+	for l := range s {
+		if drop.Contains(l) {
+			continue
+		}
+		if out == nil {
+			out = make(Set, len(s))
+		}
+		out[l] = struct{}{}
+	}
+	return out
+}
+
+// Union returns the union of s and other.
+func (s Set) Union(other Set) Set {
+	if len(other) == 0 {
+		return s
+	}
+	if len(s) == 0 {
+		return other
+	}
+	out := make(Set, len(s)+len(other))
+	for l := range s {
+		out[l] = struct{}{}
+	}
+	for l := range other {
+		out[l] = struct{}{}
+	}
+	return out
+}
+
+// Intersect returns the intersection of s and other.
+func (s Set) Intersect(other Set) Set {
+	if len(s) == 0 || len(other) == 0 {
+		return nil
+	}
+	small, large := s, other
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	var out Set
+	for l := range small {
+		if large.Contains(l) {
+			if out == nil {
+				out = make(Set)
+			}
+			out[l] = struct{}{}
+		}
+	}
+	return out
+}
+
+// SubsetOf reports whether every label in s is also in other.
+func (s Set) SubsetOf(other Set) bool {
+	if len(s) > len(other) {
+		return false
+	}
+	for l := range s {
+		if !other.Contains(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and other contain exactly the same labels.
+func (s Set) Equal(other Set) bool {
+	return len(s) == len(other) && s.SubsetOf(other)
+}
+
+// OfKind returns the subset of labels with the given kind.
+func (s Set) OfKind(kind Kind) Set {
+	var out Set
+	for l := range s {
+		if l.kind == kind {
+			if out == nil {
+				out = make(Set)
+			}
+			out[l] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Confidentiality returns the confidentiality labels in the set.
+func (s Set) Confidentiality() Set { return s.OfKind(Confidentiality) }
+
+// Integrity returns the integrity labels in the set.
+func (s Set) Integrity() Set { return s.OfKind(Integrity) }
+
+// Sorted returns the labels in deterministic (lexicographic URI) order.
+func (s Set) Sorted() []Label {
+	out := make([]Label, 0, len(s))
+	for l := range s {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Strings returns the sorted label URIs.
+func (s Set) Strings() []string {
+	labels := s.Sorted()
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		out[i] = l.String()
+	}
+	return out
+}
+
+// String renders the set as a comma-separated list of sorted label URIs,
+// the representation used in STOMP headers and document metadata.
+func (s Set) String() string {
+	return strings.Join(s.Strings(), ",")
+}
+
+// MarshalText implements encoding.TextMarshaler using the comma-separated
+// representation.
+func (s Set) MarshalText() ([]byte, error) {
+	return []byte(s.String()), nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (s *Set) UnmarshalText(text []byte) error {
+	parsed, err := ParseSet(string(text))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
+// Derive computes the label set of data derived from the given sources,
+// following the paper's composition rules (§4.1): confidentiality labels are
+// sticky (union across sources) and integrity labels are fragile
+// (intersection across sources). Deriving from zero sources yields the
+// empty set.
+func Derive(sources ...Set) Set {
+	if len(sources) == 0 {
+		return nil
+	}
+	conf := sources[0].Confidentiality()
+	integ := sources[0].Integrity()
+	for _, src := range sources[1:] {
+		conf = conf.Union(src.Confidentiality())
+		integ = integ.Intersect(src.Integrity())
+	}
+	return conf.Union(integ)
+}

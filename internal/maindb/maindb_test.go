@@ -1,0 +1,132 @@
+package maindb
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 42, Patients: 50})
+	b := Generate(Config{Seed: 42, Patients: 50})
+	if !reflect.DeepEqual(a.Patients(), b.Patients()) {
+		t.Error("same seed produced different patients")
+	}
+	c := Generate(Config{Seed: 43, Patients: 50})
+	if reflect.DeepEqual(a.Patients(), c.Patients()) {
+		t.Error("different seeds produced identical patients")
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	db := Generate(Config{Seed: 1, Patients: 100, Hospitals: 3, Regions: 2})
+
+	patients := db.Patients()
+	if len(patients) != 100 {
+		t.Fatalf("patients = %d", len(patients))
+	}
+	mdts := db.MDTs()
+	if len(mdts) != 3*4 { // hospitals × clinics
+		t.Fatalf("mdts = %d", len(mdts))
+	}
+	if len(db.Regions()) != 2 {
+		t.Fatalf("regions = %v", db.Regions())
+	}
+
+	// Every patient belongs to a valid MDT consistent with its hospital
+	// and clinic, and has at least one tumour and one treatment.
+	for _, p := range patients {
+		m, ok := db.MDTByID(p.MDT)
+		if !ok {
+			t.Fatalf("patient %s has unknown MDT %q", p.ID, p.MDT)
+		}
+		if m.Hospital != p.Hospital || m.Clinic != p.Clinic || m.Region != p.Region {
+			t.Errorf("patient %s inconsistent with MDT: %+v vs %+v", p.ID, p, m)
+		}
+		tumours := db.TumoursOf(p.ID)
+		if len(tumours) == 0 {
+			t.Errorf("patient %s has no tumours", p.ID)
+		}
+		for _, tum := range tumours {
+			if tum.PatientID != p.ID {
+				t.Errorf("tumour %s wrong patient", tum.ID)
+			}
+			if tum.Site == "" || (tum.Type != "cancer" && tum.Type != "screening") {
+				t.Errorf("tumour %s malformed: %+v", tum.ID, tum)
+			}
+			if tum.Stage < 0 || tum.Stage > 4 {
+				t.Errorf("tumour %s stage %d", tum.ID, tum.Stage)
+			}
+		}
+		if len(db.TreatmentsOf(p.ID)) == 0 {
+			t.Errorf("patient %s has no treatments", p.ID)
+		}
+	}
+}
+
+func TestPatientsByMDTPartition(t *testing.T) {
+	db := Generate(Config{Seed: 7, Patients: 120})
+	total := 0
+	for _, m := range db.MDTs() {
+		group := db.PatientsByMDT(m.ID)
+		total += len(group)
+		for _, p := range group {
+			if p.MDT != m.ID {
+				t.Errorf("patient %s in wrong MDT bucket", p.ID)
+			}
+		}
+	}
+	if total != 120 {
+		t.Errorf("MDT partition covers %d patients, want 120", total)
+	}
+	if got := db.PatientsByMDT("mdt-none"); len(got) != 0 {
+		t.Errorf("unknown MDT returned %d patients", len(got))
+	}
+}
+
+func TestCompletenessRange(t *testing.T) {
+	db := Generate(Config{Seed: 3, Patients: 80, MissingFieldRate: 0.3})
+	sawIncomplete := false
+	for _, p := range db.Patients() {
+		c := db.Completeness(p)
+		if c < 0 || c > 1 {
+			t.Fatalf("completeness %f out of range", c)
+		}
+		if c < 1 {
+			sawIncomplete = true
+		}
+	}
+	if !sawIncomplete {
+		t.Error("no incomplete records at 30% missing rate")
+	}
+}
+
+func TestCompletenessFull(t *testing.T) {
+	// With a zero missing rate forced through a tiny epsilon, nearly all
+	// records should be complete; verify the scorer returns 1 for a
+	// fully-populated patient.
+	db := Generate(Config{Seed: 5, Patients: 30, MissingFieldRate: 1e-9})
+	for _, p := range db.Patients() {
+		if p.Name == "" || p.NHSNumber == "" {
+			continue
+		}
+		complete := true
+		for _, tum := range db.TumoursOf(p.ID) {
+			if tum.Stage == 0 {
+				complete = false
+			}
+		}
+		if complete && db.Completeness(p) != 1 {
+			t.Errorf("complete patient scored %f", db.Completeness(p))
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	db := Generate(Config{})
+	if len(db.Patients()) != 200 {
+		t.Errorf("default patients = %d", len(db.Patients()))
+	}
+	if len(db.MDTs()) != 16 {
+		t.Errorf("default MDTs = %d", len(db.MDTs()))
+	}
+}

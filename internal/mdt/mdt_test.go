@@ -1,0 +1,351 @@
+package mdt
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"safeweb/internal/label"
+	"safeweb/internal/maindb"
+)
+
+// deployTest spins up a small MDT deployment with data imported.
+func deployTest(t *testing.T, cfg DeployConfig) *Deployment {
+	t.Helper()
+	if cfg.Registry.Patients == 0 {
+		cfg.Registry = regSmall()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	d, err := Deploy(cfg)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	t.Cleanup(d.Stop)
+	if err := d.ImportAll(); err != nil {
+		t.Fatalf("ImportAll: %v", err)
+	}
+	return d
+}
+
+// httpGet performs an authenticated request against the deployment.
+func httpGet(t *testing.T, d *Deployment, path, user string) (int, string) {
+	t.Helper()
+	addr, err := d.ServeHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("ServeHTTP: %v", err)
+	}
+	req, err := http.NewRequest(http.MethodGet, "http://"+addr+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if user != "" {
+		req.SetBasicAuth(user, d.Creds[user])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestPipelineProducesLabelledRecords(t *testing.T) {
+	d := deployTest(t, DeployConfig{Registry: regSmall()})
+
+	// Every MDT with cancer cases has records in the DMZ replica, each
+	// labelled with exactly that MDT's label.
+	totalRecords := 0
+	for _, m := range d.Registry.MDTs() {
+		docs, err := d.DMZDB.Query(ViewRecordsByMDT, m.ID)
+		if err != nil {
+			t.Fatalf("Query(%s): %v", m.ID, err)
+		}
+		totalRecords += len(docs)
+		for _, doc := range docs {
+			if !doc.Labels.Contains(MDTLabel(m.ID)) {
+				t.Errorf("record %s missing label of its MDT: %v", doc.ID, doc.Labels)
+			}
+			if doc.Labels.Confidentiality().Len() != 1 {
+				t.Errorf("record %s carries foreign labels: %v", doc.ID, doc.Labels)
+			}
+		}
+	}
+	if totalRecords == 0 {
+		t.Fatal("no records produced")
+	}
+
+	// The engine jail recorded no violations: units never attempted I/O.
+	if n := d.Engine.Audit().Len(); n != 0 {
+		t.Errorf("jail audit has %d violations", n)
+	}
+}
+
+func TestMetricsRelabelled(t *testing.T) {
+	d := deployTest(t, DeployConfig{Registry: regSmall()})
+
+	sawMDTMetric := false
+	for _, m := range d.Registry.MDTs() {
+		doc, err := d.DMZDB.Get("metric/mdt/" + m.ID)
+		if err != nil {
+			continue // MDT with no cancer cases
+		}
+		sawMDTMetric = true
+		want := label.NewSet(RegionAggLabel(m.Region))
+		if !doc.Labels.Equal(want) {
+			t.Errorf("MDT metric %s labels = %v, want %v", m.ID, doc.Labels, want)
+		}
+		var metrics Metrics
+		if err := json.Unmarshal(doc.Data, &metrics); err != nil {
+			t.Fatalf("metric decode: %v", err)
+		}
+		if metrics.Cases <= 0 || metrics.Completeness < 0 || metrics.Completeness > 1 {
+			t.Errorf("metric %s implausible: %+v", m.ID, metrics)
+		}
+		if metrics.Survival <= 0 || metrics.Survival >= 1 {
+			t.Errorf("survival out of range: %+v", metrics)
+		}
+	}
+	if !sawMDTMetric {
+		t.Fatal("no MDT metrics produced")
+	}
+
+	for _, region := range d.Registry.Regions() {
+		doc, err := d.DMZDB.Get("metric/region/" + region)
+		if err != nil {
+			t.Fatalf("regional metric %s: %v", region, err)
+		}
+		want := label.NewSet(RegionalAggLabel())
+		if !doc.Labels.Equal(want) {
+			t.Errorf("regional metric labels = %v, want %v", doc.Labels, want)
+		}
+	}
+}
+
+func regSmall() maindb.Config {
+	return maindb.Config{Seed: 11, Patients: 60, Hospitals: 2, Regions: 2}
+}
+
+func TestOwnMDTRecordsAccessible(t *testing.T) {
+	d := deployTest(t, DeployConfig{Registry: regSmall()})
+	m := firstMDTWithRecords(t, d)
+
+	status, body := httpGet(t, d, "/records/"+m, m)
+	if status != http.StatusOK {
+		t.Fatalf("own records status = %d", status)
+	}
+	var records []map[string]any
+	if err := json.Unmarshal([]byte(body), &records); err != nil || len(records) == 0 {
+		t.Fatalf("records = %v (%v)", body, err)
+	}
+	for _, r := range records {
+		if r["mdt"] != m {
+			t.Errorf("foreign record in own listing: %v", r["mdt"])
+		}
+	}
+}
+
+func TestForeignMDTRecordsDenied(t *testing.T) {
+	d := deployTest(t, DeployConfig{Registry: regSmall()})
+	mdts := mdtsWithRecords(t, d)
+	if len(mdts) < 2 {
+		t.Skip("need two MDTs with records")
+	}
+	// App-level check denies (403 from guard), and even without it the
+	// label check would; policy P1 holds.
+	status, body := httpGet(t, d, "/records/"+mdts[1], mdts[0])
+	if status != http.StatusForbidden {
+		t.Fatalf("foreign records status = %d", status)
+	}
+	if strings.Contains(body, "patient_id") {
+		t.Fatal("foreign records leaked")
+	}
+}
+
+func TestFrontPageRenders(t *testing.T) {
+	d := deployTest(t, DeployConfig{Registry: regSmall()})
+	m := firstMDTWithRecords(t, d)
+
+	status, body := httpGet(t, d, "/", m)
+	if status != http.StatusOK {
+		t.Fatalf("front page status = %d", status)
+	}
+	for _, want := range []string{"MDT " + m, "<table>", "Completeness"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("front page missing %q", want)
+		}
+	}
+}
+
+func TestMetricsVisibilityFollowsP1(t *testing.T) {
+	d := deployTest(t, DeployConfig{Registry: regSmall()})
+
+	// Pick two MDTs in the same region and one in the other region.
+	byRegion := make(map[string][]string)
+	for _, m := range d.Registry.MDTs() {
+		if _, err := d.DMZDB.Get("metric/mdt/" + m.ID); err == nil {
+			byRegion[m.Region] = append(byRegion[m.Region], m.ID)
+		}
+	}
+	var sameRegion []string
+	var otherRegion string
+	for _, ids := range byRegion {
+		if len(ids) >= 2 && sameRegion == nil {
+			sameRegion = ids[:2]
+		}
+	}
+	for region, ids := range byRegion {
+		if len(sameRegion) > 0 && len(ids) > 0 {
+			if m, _ := d.Registry.MDTByID(sameRegion[0]); m.Region != region {
+				otherRegion = ids[0]
+			}
+		}
+	}
+	if len(sameRegion) < 2 || otherRegion == "" {
+		t.Skip("region layout insufficient for this test")
+	}
+
+	// Same-region MDT metrics are visible (P1: MDT-level aggregates seen
+	// by all MDTs of the region).
+	status, _ := httpGet(t, d, "/metrics/"+sameRegion[1], sameRegion[0])
+	if status != http.StatusOK {
+		t.Errorf("same-region metrics status = %d", status)
+	}
+	// Cross-region MDT metrics are blocked by the label check.
+	status, body := httpGet(t, d, "/metrics/"+otherRegion, sameRegion[0])
+	if status != http.StatusForbidden {
+		t.Errorf("cross-region metrics status = %d", status)
+	}
+	if strings.Contains(body, "completeness") {
+		t.Error("cross-region metrics leaked")
+	}
+	// Regional aggregates are visible to everyone (any region).
+	for _, region := range d.Registry.Regions() {
+		status, _ := httpGet(t, d, "/regional/"+region, sameRegion[0])
+		if status != http.StatusOK {
+			t.Errorf("regional aggregate %s status = %d", region, status)
+		}
+	}
+}
+
+func TestCompareRegionVisibility(t *testing.T) {
+	d := deployTest(t, DeployConfig{Registry: regSmall()})
+	m := firstMDTWithRecords(t, d)
+	user, _ := d.Registry.MDTByID(m)
+
+	// Own region comparison: allowed.
+	status, body := httpGet(t, d, "/compare/"+user.Region, m)
+	if status != http.StatusOK {
+		t.Fatalf("own region compare = %d", status)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(body), &rows); err != nil || len(rows) == 0 {
+		t.Fatalf("compare rows = %v (%v)", body, err)
+	}
+	// Other region comparison: blocked (labels of the other region's
+	// aggregates are not in the user's clearance).
+	var other string
+	for _, r := range d.Registry.Regions() {
+		if r != user.Region {
+			other = r
+		}
+	}
+	status, _ = httpGet(t, d, "/compare/"+other, m)
+	if status != http.StatusForbidden {
+		t.Errorf("other region compare = %d", status)
+	}
+}
+
+func TestAdminSeesEverything(t *testing.T) {
+	d := deployTest(t, DeployConfig{Registry: regSmall()})
+	for _, m := range mdtsWithRecords(t, d) {
+		status, _ := httpGet(t, d, "/records/"+m, "admin")
+		if status != http.StatusOK {
+			t.Errorf("admin records %s status = %d", m, status)
+		}
+	}
+}
+
+func TestRecordDetail(t *testing.T) {
+	d := deployTest(t, DeployConfig{Registry: regSmall()})
+	m := firstMDTWithRecords(t, d)
+	docs, err := d.DMZDB.Query(ViewRecordsByMDT, m)
+	if err != nil || len(docs) == 0 {
+		t.Fatalf("query: %v", err)
+	}
+	var rec CaseRecord
+	if err := json.Unmarshal(docs[0].Data, &rec); err != nil {
+		t.Fatal(err)
+	}
+
+	status, body := httpGet(t, d, "/records/"+m+"/"+rec.PatientID, m)
+	if status != http.StatusOK {
+		t.Fatalf("detail status = %d", status)
+	}
+	var got CaseRecord
+	if err := json.Unmarshal([]byte(body), &got); err != nil || got.PatientID != rec.PatientID {
+		t.Errorf("detail = %v (%v)", body, err)
+	}
+	status, _ = httpGet(t, d, "/records/"+m+"/nope", m)
+	if status != http.StatusNotFound {
+		t.Errorf("missing detail status = %d", status)
+	}
+}
+
+func TestDMZReadOnly(t *testing.T) {
+	d := deployTest(t, DeployConfig{Registry: regSmall()})
+	// S1: the frontend-visible replica rejects writes.
+	if _, err := d.DMZDB.Put("intruder", map[string]string{}, nil, ""); err == nil {
+		t.Fatal("DMZ replica accepted a write")
+	}
+	// The Intranet instance and the replica converge.
+	if d.AppDB.Len() != d.DMZDB.Len() {
+		t.Errorf("replica diverged: %d vs %d docs", d.AppDB.Len(), d.DMZDB.Len())
+	}
+}
+
+func TestNetworkBrokerDeployment(t *testing.T) {
+	// The same pipeline over the STOMP network broker (the paper's
+	// deployment shape).
+	d := deployTest(t, DeployConfig{Registry: regTiny(), NetworkBroker: true})
+	m := firstMDTWithRecords(t, d)
+	status, _ := httpGet(t, d, "/records/"+m, m)
+	if status != http.StatusOK {
+		t.Errorf("network deployment records status = %d", status)
+	}
+}
+
+func regTiny() maindb.Config {
+	return maindb.Config{Seed: 5, Patients: 20, Hospitals: 2, Regions: 2}
+}
+
+func firstMDTWithRecords(t *testing.T, d *Deployment) string {
+	t.Helper()
+	mdts := mdtsWithRecords(t, d)
+	if len(mdts) == 0 {
+		t.Fatal("no MDT has records")
+	}
+	return mdts[0]
+}
+
+func mdtsWithRecords(t *testing.T, d *Deployment) []string {
+	t.Helper()
+	var out []string
+	for _, m := range d.Registry.MDTs() {
+		docs, err := d.DMZDB.Query(ViewRecordsByMDT, m.ID)
+		if err != nil {
+			t.Fatalf("query %s: %v", m.ID, err)
+		}
+		if len(docs) > 0 {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}

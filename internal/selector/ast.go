@@ -1,0 +1,236 @@
+package selector
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// expr is a parsed selector expression node. Nodes evaluate to a value
+// under an attribute environment and can print themselves back to selector
+// syntax (used by tests to verify parse/print round-trips and by the broker
+// to normalise subscriptions).
+type expr interface {
+	eval(env Env) value
+	String() string
+}
+
+// Env supplies attribute values during evaluation. Lookup returns the
+// attribute value and whether the attribute exists; missing attributes are
+// SQL NULL.
+type Env interface {
+	Lookup(name string) (string, bool)
+}
+
+// MapEnv adapts a plain map to Env.
+type MapEnv map[string]string
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string) (string, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// ---- literals and identifiers ----
+
+type identExpr struct{ name string }
+
+func (e identExpr) String() string { return e.name }
+
+type stringLit struct{ val string }
+
+func (e stringLit) String() string {
+	return "'" + strings.ReplaceAll(e.val, "'", "''") + "'"
+}
+
+type numberLit struct {
+	val  float64
+	text string // original spelling, preserved for printing
+}
+
+func (e numberLit) String() string { return e.text }
+
+type boolLit struct{ val bool }
+
+func (e boolLit) String() string {
+	if e.val {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// ---- compound expressions ----
+
+// binaryOp enumerates binary operators.
+type binaryOp int
+
+const (
+	opEq binaryOp = iota + 1
+	opNeq
+	opLt
+	opLe
+	opGt
+	opGe
+	opAnd
+	opOr
+	opAdd
+	opSub
+	opMul
+	opDiv
+)
+
+func (op binaryOp) String() string {
+	switch op {
+	case opEq:
+		return "="
+	case opNeq:
+		return "<>"
+	case opLt:
+		return "<"
+	case opLe:
+		return "<="
+	case opGt:
+		return ">"
+	case opGe:
+		return ">="
+	case opAnd:
+		return "AND"
+	case opOr:
+		return "OR"
+	case opAdd:
+		return "+"
+	case opSub:
+		return "-"
+	case opMul:
+		return "*"
+	case opDiv:
+		return "/"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+type binaryExpr struct {
+	op   binaryOp
+	l, r expr
+}
+
+func (e binaryExpr) String() string {
+	return "(" + e.l.String() + " " + e.op.String() + " " + e.r.String() + ")"
+}
+
+type notExpr struct{ inner expr }
+
+func (e notExpr) String() string { return "(NOT " + e.inner.String() + ")" }
+
+type negExpr struct{ inner expr }
+
+func (e negExpr) String() string { return "(-" + e.inner.String() + ")" }
+
+type betweenExpr struct {
+	subject expr
+	lo, hi  expr
+	negated bool
+}
+
+func (e betweenExpr) String() string {
+	op := " BETWEEN "
+	if e.negated {
+		op = " NOT BETWEEN "
+	}
+	return "(" + e.subject.String() + op + e.lo.String() + " AND " + e.hi.String() + ")"
+}
+
+type inExpr struct {
+	subject expr
+	items   []string
+	negated bool
+}
+
+func (e inExpr) String() string {
+	var b strings.Builder
+	b.WriteString("(" + e.subject.String())
+	if e.negated {
+		b.WriteString(" NOT")
+	}
+	b.WriteString(" IN (")
+	for i, item := range e.items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(stringLit{item}.String())
+	}
+	b.WriteString("))")
+	return b.String()
+}
+
+type likeExpr struct {
+	subject expr
+	pattern string
+	escape  string // "" when no ESCAPE clause
+	negated bool
+	re      *regexp.Regexp // compiled at parse time
+}
+
+func (e likeExpr) String() string {
+	var b strings.Builder
+	b.WriteString("(" + e.subject.String())
+	if e.negated {
+		b.WriteString(" NOT")
+	}
+	b.WriteString(" LIKE " + stringLit{e.pattern}.String())
+	if e.escape != "" {
+		b.WriteString(" ESCAPE " + stringLit{e.escape}.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+type isNullExpr struct {
+	subject expr
+	negated bool // IS NOT NULL
+}
+
+func (e isNullExpr) String() string {
+	if e.negated {
+		return "(" + e.subject.String() + " IS NOT NULL)"
+	}
+	return "(" + e.subject.String() + " IS NULL)"
+}
+
+// compileLike translates a SQL LIKE pattern ('%' any run, '_' any one
+// character, with optional escape character) into an anchored regexp.
+func compileLike(pattern, escape string) (*regexp.Regexp, error) {
+	var esc byte
+	hasEsc := false
+	if escape != "" {
+		if len(escape) != 1 {
+			return nil, fmt.Errorf("selector: ESCAPE must be a single character, got %q", escape)
+		}
+		esc = escape[0]
+		hasEsc = true
+	}
+	var b strings.Builder
+	b.WriteString(`(?s)\A`)
+	for i := 0; i < len(pattern); i++ {
+		c := pattern[i]
+		if hasEsc && c == esc {
+			i++
+			if i >= len(pattern) {
+				return nil, fmt.Errorf("selector: dangling escape in LIKE pattern %q", pattern)
+			}
+			b.WriteString(regexp.QuoteMeta(string(pattern[i])))
+			continue
+		}
+		switch c {
+		case '%':
+			b.WriteString(".*")
+		case '_':
+			b.WriteString(".")
+		default:
+			b.WriteString(regexp.QuoteMeta(string(c)))
+		}
+	}
+	b.WriteString(`\z`)
+	return regexp.Compile(b.String())
+}

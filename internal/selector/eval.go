@@ -1,0 +1,335 @@
+package selector
+
+import (
+	"strconv"
+)
+
+// tri is SQL three-valued logic: true, false or unknown. Unknown arises
+// from NULL (missing attributes) and propagates through comparisons and
+// arithmetic; AND/OR/NOT follow the Kleene truth tables.
+type tri int
+
+const (
+	triFalse tri = iota
+	triTrue
+	triUnknown
+)
+
+func (t tri) isTrue() bool { return t == triTrue }
+
+func triOf(b bool) tri {
+	if b {
+		return triTrue
+	}
+	return triFalse
+}
+
+func (t tri) not() tri {
+	switch t {
+	case triTrue:
+		return triFalse
+	case triFalse:
+		return triTrue
+	default:
+		return triUnknown
+	}
+}
+
+func (t tri) and(o tri) tri {
+	if t == triFalse || o == triFalse {
+		return triFalse
+	}
+	if t == triUnknown || o == triUnknown {
+		return triUnknown
+	}
+	return triTrue
+}
+
+func (t tri) or(o tri) tri {
+	if t == triTrue || o == triTrue {
+		return triTrue
+	}
+	if t == triUnknown || o == triUnknown {
+		return triUnknown
+	}
+	return triFalse
+}
+
+// valueKind enumerates runtime value types during evaluation.
+type valueKind int
+
+const (
+	kindNull valueKind = iota
+	kindString
+	kindNumber
+	kindBool
+)
+
+// value is a runtime value: NULL, string, number or boolean. Event
+// attributes enter evaluation as strings and are coerced to numbers when
+// the other comparison operand is numeric, matching the paper's untyped
+// string attribute model.
+type value struct {
+	kind valueKind
+	s    string
+	f    float64
+	b    bool
+}
+
+var nullValue = value{kind: kindNull}
+
+func strValue(s string) value  { return value{kind: kindString, s: s} }
+func numValue(f float64) value { return value{kind: kindNumber, f: f} }
+func boolValue(b bool) value   { return value{kind: kindBool, b: b} }
+
+// asNumber attempts numeric interpretation of the value.
+func (v value) asNumber() (float64, bool) {
+	switch v.kind {
+	case kindNumber:
+		return v.f, true
+	case kindString:
+		f, err := strconv.ParseFloat(v.s, 64)
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+// asBool attempts boolean interpretation.
+func (v value) asBool() (bool, bool) {
+	switch v.kind {
+	case kindBool:
+		return v.b, true
+	case kindString:
+		switch v.s {
+		case "true", "TRUE", "True":
+			return true, true
+		case "false", "FALSE", "False":
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// ---- node evaluation ----
+
+func (e identExpr) eval(env Env) value {
+	s, ok := env.Lookup(e.name)
+	if !ok {
+		return nullValue
+	}
+	return strValue(s)
+}
+
+func (e stringLit) eval(Env) value { return strValue(e.val) }
+func (e numberLit) eval(Env) value { return numValue(e.val) }
+func (e boolLit) eval(Env) value   { return boolValue(e.val) }
+
+func (e notExpr) eval(env Env) value {
+	return triToValue(valueToTri(e.inner.eval(env)).not())
+}
+
+func (e negExpr) eval(env Env) value {
+	f, ok := e.inner.eval(env).asNumber()
+	if !ok {
+		return nullValue
+	}
+	return numValue(-f)
+}
+
+func (e binaryExpr) eval(env Env) value {
+	switch e.op {
+	case opAnd:
+		return triToValue(valueToTri(e.l.eval(env)).and(valueToTri(e.r.eval(env))))
+	case opOr:
+		return triToValue(valueToTri(e.l.eval(env)).or(valueToTri(e.r.eval(env))))
+	}
+
+	lv := e.l.eval(env)
+	rv := e.r.eval(env)
+	switch e.op {
+	case opAdd, opSub, opMul, opDiv:
+		lf, lok := lv.asNumber()
+		rf, rok := rv.asNumber()
+		if !lok || !rok {
+			return nullValue
+		}
+		switch e.op {
+		case opAdd:
+			return numValue(lf + rf)
+		case opSub:
+			return numValue(lf - rf)
+		case opMul:
+			return numValue(lf * rf)
+		default:
+			if rf == 0 {
+				return nullValue // SQL: division by zero yields NULL here
+			}
+			return numValue(lf / rf)
+		}
+	case opEq, opNeq, opLt, opLe, opGt, opGe:
+		return triToValue(compare(e.op, lv, rv))
+	}
+	return nullValue
+}
+
+// compare implements the comparison operators with NULL propagation and
+// numeric coercion: if either operand is a number (or both coerce), compare
+// numerically; booleans compare with = and <> only; otherwise compare as
+// strings.
+func compare(op binaryOp, l, r value) tri {
+	if l.kind == kindNull || r.kind == kindNull {
+		return triUnknown
+	}
+
+	// Boolean comparison (= and <> only).
+	if l.kind == kindBool || r.kind == kindBool {
+		lb, lok := l.asBool()
+		rb, rok := r.asBool()
+		if !lok || !rok {
+			return triFalse
+		}
+		switch op {
+		case opEq:
+			return triOf(lb == rb)
+		case opNeq:
+			return triOf(lb != rb)
+		default:
+			return triFalse
+		}
+	}
+
+	// Numeric comparison when either side is a number literal and the
+	// other coerces.
+	if l.kind == kindNumber || r.kind == kindNumber {
+		lf, lok := l.asNumber()
+		rf, rok := r.asNumber()
+		if lok && rok {
+			switch op {
+			case opEq:
+				return triOf(lf == rf)
+			case opNeq:
+				return triOf(lf != rf)
+			case opLt:
+				return triOf(lf < rf)
+			case opLe:
+				return triOf(lf <= rf)
+			case opGt:
+				return triOf(lf > rf)
+			case opGe:
+				return triOf(lf >= rf)
+			}
+		}
+		// A number compared against a non-numeric string: equal is
+		// false, ordering is unknown.
+		if op == opEq {
+			return triFalse
+		}
+		if op == opNeq {
+			return triTrue
+		}
+		return triUnknown
+	}
+
+	// String comparison.
+	switch op {
+	case opEq:
+		return triOf(l.s == r.s)
+	case opNeq:
+		return triOf(l.s != r.s)
+	case opLt:
+		return triOf(l.s < r.s)
+	case opLe:
+		return triOf(l.s <= r.s)
+	case opGt:
+		return triOf(l.s > r.s)
+	case opGe:
+		return triOf(l.s >= r.s)
+	}
+	return triUnknown
+}
+
+func (e betweenExpr) eval(env Env) value {
+	ge := compare(opGe, e.subject.eval(env), e.lo.eval(env))
+	le := compare(opLe, e.subject.eval(env), e.hi.eval(env))
+	result := ge.and(le)
+	if e.negated {
+		result = result.not()
+	}
+	return triToValue(result)
+}
+
+func (e inExpr) eval(env Env) value {
+	v := e.subject.eval(env)
+	if v.kind == kindNull {
+		return nullValue
+	}
+	found := false
+	for _, item := range e.items {
+		if compare(opEq, v, strValue(item)) == triTrue {
+			found = true
+			break
+		}
+	}
+	if e.negated {
+		found = !found
+	}
+	return triToValue(triOf(found))
+}
+
+func (e likeExpr) eval(env Env) value {
+	v := e.subject.eval(env)
+	if v.kind == kindNull {
+		return nullValue
+	}
+	var subject string
+	switch v.kind {
+	case kindString:
+		subject = v.s
+	case kindNumber:
+		subject = strconv.FormatFloat(v.f, 'g', -1, 64)
+	default:
+		return triToValue(triFalse)
+	}
+	matched := e.re.MatchString(subject)
+	if e.negated {
+		matched = !matched
+	}
+	return triToValue(triOf(matched))
+}
+
+func (e isNullExpr) eval(env Env) value {
+	isNull := e.subject.eval(env).kind == kindNull
+	if e.negated {
+		isNull = !isNull
+	}
+	return triToValue(triOf(isNull))
+}
+
+// valueToTri interprets an evaluation result as a condition.
+func valueToTri(v value) tri {
+	switch v.kind {
+	case kindNull:
+		return triUnknown
+	case kindBool:
+		return triOf(v.b)
+	case kindString:
+		if b, ok := v.asBool(); ok {
+			return triOf(b)
+		}
+		return triFalse
+	default:
+		return triFalse
+	}
+}
+
+// triToValue reifies a condition back into a value for nested boolean
+// expressions.
+func triToValue(t tri) value {
+	switch t {
+	case triUnknown:
+		return nullValue
+	default:
+		return boolValue(t == triTrue)
+	}
+}

@@ -1,0 +1,249 @@
+// Package selector implements the SQL-92 message selector language that
+// SafeWeb's event broker uses for content-based subscriptions (paper §4.2):
+// "An optional SQL-92 selector header specifies content-based
+// subscriptions."
+//
+// The grammar is the JMS message-selector subset of SQL-92: comparison
+// operators, arithmetic, AND/OR/NOT, BETWEEN, IN, LIKE (with ESCAPE),
+// IS [NOT] NULL, string and numeric literals, and identifiers that name
+// event attributes. Because SafeWeb event attributes are untyped strings
+// (§4.1), the evaluator coerces attribute values numerically when they are
+// compared against numbers.
+//
+// Evaluation follows SQL three-valued logic: comparisons involving a
+// missing attribute yield "unknown", and a selector accepts an event only
+// if the whole expression evaluates to true.
+package selector
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokString
+	tokNumber
+	tokEq     // =
+	tokNeq    // <>
+	tokLt     // <
+	tokLe     // <=
+	tokGt     // >
+	tokGe     // >=
+	tokPlus   // +
+	tokMinus  // -
+	tokStar   // *
+	tokSlash  // /
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+
+	// Keywords (case-insensitive).
+	tokAnd
+	tokOr
+	tokNot
+	tokBetween
+	tokIn
+	tokLike
+	tokIs
+	tokNull
+	tokEscape
+	tokTrue
+	tokFalse
+)
+
+var _keywords = map[string]tokenKind{
+	"AND":     tokAnd,
+	"OR":      tokOr,
+	"NOT":     tokNot,
+	"BETWEEN": tokBetween,
+	"IN":      tokIn,
+	"LIKE":    tokLike,
+	"IS":      tokIs,
+	"NULL":    tokNull,
+	"ESCAPE":  tokEscape,
+	"TRUE":    tokTrue,
+	"FALSE":   tokFalse,
+}
+
+// token is a lexical token with its source position for error reporting.
+type token struct {
+	kind tokenKind
+	text string // literal text: identifier name, string contents, number
+	pos  int
+}
+
+// SyntaxError reports a lexical or grammatical error in a selector
+// expression.
+type SyntaxError struct {
+	// Input is the full selector text.
+	Input string
+	// Pos is the byte offset of the error.
+	Pos int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("selector: %s at offset %d in %q", e.Msg, e.Pos, e.Input)
+}
+
+// lexer scans a selector expression into tokens.
+type lexer struct {
+	input string
+	pos   int
+}
+
+func (l *lexer) errorf(pos int, format string, args ...any) error {
+	return &SyntaxError{Input: l.input, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || isDigit(c) || c == '.' || c == '-'
+}
+
+// next scans and returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && (l.input[l.pos] == ' ' || l.input[l.pos] == '\t' || l.input[l.pos] == '\n' || l.input[l.pos] == '\r') {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.input[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, pos: start}, nil
+	case c == '+':
+		l.pos++
+		return token{kind: tokPlus, pos: start}, nil
+	case c == '-':
+		l.pos++
+		return token{kind: tokMinus, pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, pos: start}, nil
+	case c == '/':
+		l.pos++
+		return token{kind: tokSlash, pos: start}, nil
+	case c == '=':
+		l.pos++
+		return token{kind: tokEq, pos: start}, nil
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.input) {
+			switch l.input[l.pos] {
+			case '>':
+				l.pos++
+				return token{kind: tokNeq, pos: start}, nil
+			case '=':
+				l.pos++
+				return token{kind: tokLe, pos: start}, nil
+			}
+		}
+		return token{kind: tokLt, pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokGe, pos: start}, nil
+		}
+		return token{kind: tokGt, pos: start}, nil
+	case c == '\'':
+		return l.scanString()
+	case isDigit(c):
+		return l.scanNumber()
+	case isIdentStart(c):
+		return l.scanIdent()
+	default:
+		return token{}, l.errorf(start, "unexpected character %q", c)
+	}
+}
+
+// scanString scans a single-quoted SQL string literal; ” is an escaped
+// quote.
+func (l *lexer) scanString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errorf(start, "unterminated string literal")
+}
+
+// scanNumber scans an integer or decimal literal with optional exponent.
+func (l *lexer) scanNumber() (token, error) {
+	start := l.pos
+	for l.pos < len(l.input) && isDigit(l.input[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.input) && l.input[l.pos] == '.' {
+		l.pos++
+		if l.pos >= len(l.input) || !isDigit(l.input[l.pos]) {
+			return token{}, l.errorf(start, "malformed number")
+		}
+		for l.pos < len(l.input) && isDigit(l.input[l.pos]) {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.input) && (l.input[l.pos] == 'e' || l.input[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.input) && (l.input[l.pos] == '+' || l.input[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos >= len(l.input) || !isDigit(l.input[l.pos]) {
+			// "12e" is the number 12 followed by identifier "e"; back off.
+			l.pos = save
+		} else {
+			for l.pos < len(l.input) && isDigit(l.input[l.pos]) {
+				l.pos++
+			}
+		}
+	}
+	return token{kind: tokNumber, text: l.input[start:l.pos], pos: start}, nil
+}
+
+// scanIdent scans an identifier or keyword.
+func (l *lexer) scanIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+		l.pos++
+	}
+	word := l.input[start:l.pos]
+	if kind, ok := _keywords[strings.ToUpper(word)]; ok {
+		return token{kind: kind, text: word, pos: start}, nil
+	}
+	return token{kind: tokIdent, text: word, pos: start}, nil
+}

@@ -1,0 +1,405 @@
+package selector
+
+import (
+	"strconv"
+)
+
+// Selector is a compiled subscription selector. It is immutable and safe
+// for concurrent use by the broker's matching goroutines.
+type Selector struct {
+	root expr
+	src  string
+}
+
+// Parse compiles a selector expression. The empty string compiles to a
+// selector that matches every event (no content filter), mirroring a
+// SUBSCRIBE frame without a selector header.
+func Parse(input string) (*Selector, error) {
+	if isBlank(input) {
+		return &Selector{src: ""}, nil
+	}
+	p := &parser{lex: lexer{input: input}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokEOF {
+		return nil, p.errorf("unexpected trailing input")
+	}
+	return &Selector{root: root, src: input}, nil
+}
+
+// MustParse is like Parse but panics on error; for tests and constants.
+func MustParse(input string) *Selector {
+	s, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func isBlank(s string) bool {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ' ', '\t', '\n', '\r':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Matches evaluates the selector against the environment. Per SQL
+// three-valued logic an event matches only when the expression is true;
+// false and unknown both reject.
+func (s *Selector) Matches(env Env) bool {
+	if s == nil || s.root == nil {
+		return true
+	}
+	return valueToTri(s.root.eval(env)).isTrue()
+}
+
+// MatchesAttrs is a convenience wrapper over Matches for plain maps.
+func (s *Selector) MatchesAttrs(attrs map[string]string) bool {
+	return s.Matches(MapEnv(attrs))
+}
+
+// Source returns the original selector text.
+func (s *Selector) Source() string {
+	if s == nil {
+		return ""
+	}
+	return s.src
+}
+
+// String returns a normalised (fully parenthesised) rendering of the
+// selector, or "" for the match-everything selector.
+func (s *Selector) String() string {
+	if s == nil || s.root == nil {
+		return ""
+	}
+	return s.root.String()
+}
+
+// parser is a recursive-descent parser over the lexer's token stream.
+type parser struct {
+	lex lexer
+	cur token
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = tok
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return p.lex.errorf(p.cur.pos, format, args...)
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind tokenKind, what string) error {
+	if p.cur.kind != kind {
+		return p.errorf("expected %s", what)
+	}
+	return p.advance()
+}
+
+// parseOr := and (OR and)*
+func (p *parser) parseOr() (expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tokOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = binaryExpr{op: opOr, l: left, r: right}
+	}
+	return left, nil
+}
+
+// parseAnd := not (AND not)*
+func (p *parser) parseAnd() (expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tokAnd {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = binaryExpr{op: opAnd, l: left, r: right}
+	}
+	return left, nil
+}
+
+// parseNot := NOT parseNot | comparison
+func (p *parser) parseNot() (expr, error) {
+	if p.cur.kind == tokNot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{inner: inner}, nil
+	}
+	return p.parseComparison()
+}
+
+// parseComparison := additive ( (=|<>|<|<=|>|>=) additive
+//
+//	| [NOT] BETWEEN additive AND additive
+//	| [NOT] IN ( strings )
+//	| [NOT] LIKE string [ESCAPE string]
+//	| IS [NOT] NULL )?
+func (p *parser) parseComparison() (expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+
+	negated := false
+	if p.cur.kind == tokNot {
+		// Lookahead for NOT BETWEEN / NOT IN / NOT LIKE.
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.cur.kind {
+		case tokBetween, tokIn, tokLike:
+			negated = true
+		default:
+			return nil, p.errorf("expected BETWEEN, IN or LIKE after NOT")
+		}
+	}
+
+	switch p.cur.kind {
+	case tokEq, tokNeq, tokLt, tokLe, tokGt, tokGe:
+		op := map[tokenKind]binaryOp{
+			tokEq: opEq, tokNeq: opNeq, tokLt: opLt,
+			tokLe: opLe, tokGt: opGt, tokGe: opGe,
+		}[p.cur.kind]
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return binaryExpr{op: op, l: left, r: right}, nil
+
+	case tokBetween:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokAnd, "AND in BETWEEN"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return betweenExpr{subject: left, lo: lo, hi: hi, negated: negated}, nil
+
+	case tokIn:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokLParen, "( after IN"); err != nil {
+			return nil, err
+		}
+		var items []string
+		for {
+			if p.cur.kind != tokString {
+				return nil, p.errorf("expected string literal in IN list")
+			}
+			items = append(items, p.cur.text)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.cur.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expect(tokRParen, ") after IN list"); err != nil {
+			return nil, err
+		}
+		return inExpr{subject: left, items: items, negated: negated}, nil
+
+	case tokLike:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.cur.kind != tokString {
+			return nil, p.errorf("expected string pattern after LIKE")
+		}
+		pattern := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		escape := ""
+		if p.cur.kind == tokEscape {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.cur.kind != tokString {
+				return nil, p.errorf("expected string after ESCAPE")
+			}
+			escape = p.cur.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		re, err := compileLike(pattern, escape)
+		if err != nil {
+			return nil, err
+		}
+		return likeExpr{subject: left, pattern: pattern, escape: escape, negated: negated, re: re}, nil
+
+	case tokIs:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		isNot := false
+		if p.cur.kind == tokNot {
+			isNot = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(tokNull, "NULL after IS"); err != nil {
+			return nil, err
+		}
+		return isNullExpr{subject: left, negated: isNot}, nil
+	}
+	return left, nil
+}
+
+// parseAdditive := multiplicative ( (+|-) multiplicative )*
+func (p *parser) parseAdditive() (expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tokPlus || p.cur.kind == tokMinus {
+		op := opAdd
+		if p.cur.kind == tokMinus {
+			op = opSub
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = binaryExpr{op: op, l: left, r: right}
+	}
+	return left, nil
+}
+
+// parseMultiplicative := unary ( (*|/) unary )*
+func (p *parser) parseMultiplicative() (expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur.kind == tokStar || p.cur.kind == tokSlash {
+		op := opMul
+		if p.cur.kind == tokSlash {
+			op = opDiv
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = binaryExpr{op: op, l: left, r: right}
+	}
+	return left, nil
+}
+
+// parseUnary := (+|-) unary | primary
+func (p *parser) parseUnary() (expr, error) {
+	switch p.cur.kind {
+	case tokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return negExpr{inner: inner}, nil
+	case tokPlus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return p.parseUnary()
+	}
+	return p.parsePrimary()
+}
+
+// parsePrimary := ( or ) | literal | identifier
+func (p *parser) parsePrimary() (expr, error) {
+	switch p.cur.kind {
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, "closing parenthesis"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case tokString:
+		lit := stringLit{val: p.cur.text}
+		return lit, p.advance()
+	case tokNumber:
+		f, err := strconv.ParseFloat(p.cur.text, 64)
+		if err != nil {
+			return nil, p.errorf("malformed number %q", p.cur.text)
+		}
+		lit := numberLit{val: f, text: p.cur.text}
+		return lit, p.advance()
+	case tokTrue:
+		return boolLit{val: true}, p.advance()
+	case tokFalse:
+		return boolLit{val: false}, p.advance()
+	case tokIdent:
+		id := identExpr{name: p.cur.text}
+		return id, p.advance()
+	default:
+		return nil, p.errorf("expected expression")
+	}
+}

@@ -1,0 +1,295 @@
+package stomp
+
+import (
+	"bufio"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// MessageHandler consumes MESSAGE frames delivered to one subscription.
+// Handlers run on the client's read goroutine; long-running work should be
+// handed off by the caller (SafeWeb's engine runs callbacks on their own
+// goroutines, mirroring the paper's per-callback threads).
+type MessageHandler func(f *Frame)
+
+// ClientConfig configures a Client.
+type ClientConfig struct {
+	// Login identifies the principal; the broker uses it for policy
+	// lookups.
+	Login string
+	// Passcode authenticates the login.
+	Passcode string
+	// TLS, when non-nil, dials with TLS.
+	TLS *tls.Config
+	// ConnectTimeout bounds dialing and the CONNECT handshake;
+	// zero means 10 seconds.
+	ConnectTimeout time.Duration
+	// OnError receives server ERROR frames and read-loop failures; nil
+	// drops them.
+	OnError func(err error)
+}
+
+// Client is a STOMP client connection. All methods are safe for concurrent
+// use.
+type Client struct {
+	cfg  ClientConfig
+	conn net.Conn
+
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	subs     map[string]MessageHandler
+	receipts map[string]chan struct{}
+	nextID   uint64
+	closed   bool
+
+	readDone chan struct{}
+}
+
+// Dial connects and performs the CONNECT handshake.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	timeout := cfg.ConnectTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	dialer := &net.Dialer{Timeout: timeout}
+	var (
+		conn net.Conn
+		err  error
+	)
+	if cfg.TLS != nil {
+		conn, err = tls.DialWithDialer(dialer, "tcp", addr, cfg.TLS)
+	} else {
+		conn, err = dialer.Dial("tcp", addr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stomp: dial %s: %w", addr, err)
+	}
+
+	c := &Client{
+		cfg:      cfg,
+		conn:     conn,
+		subs:     make(map[string]MessageHandler),
+		receipts: make(map[string]chan struct{}),
+		readDone: make(chan struct{}),
+	}
+
+	connect := NewFrame(CmdConnect)
+	connect.SetHeader(HdrLogin, cfg.Login)
+	connect.SetHeader(HdrPasscode, cfg.Passcode)
+	connect.SetHeader("accept-version", "1.1")
+	if err := c.writeFrame(connect); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+
+	// Await CONNECTED synchronously before starting the dispatch loop.
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("stomp: set deadline: %w", err)
+	}
+	r := bufio.NewReaderSize(conn, 32*1024)
+	resp, err := ReadFrame(r)
+	if err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("stomp: handshake: %w", err)
+	}
+	switch resp.Command {
+	case CmdConnected:
+	case CmdError:
+		_ = conn.Close()
+		return nil, fmt.Errorf("stomp: connection refused: %s: %s", resp.Header(HdrMessage), resp.Body)
+	default:
+		_ = conn.Close()
+		return nil, protoErrorf("expected CONNECTED, got %s", resp.Command)
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		_ = conn.Close()
+		return nil, fmt.Errorf("stomp: clear deadline: %w", err)
+	}
+
+	go c.readLoop(r)
+	return c, nil
+}
+
+func (c *Client) writeFrame(f *Frame) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return WriteFrame(c.conn, f)
+}
+
+func (c *Client) readLoop(r *bufio.Reader) {
+	defer close(c.readDone)
+	for {
+		f, err := ReadFrame(r)
+		if err != nil {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if !closed && c.cfg.OnError != nil {
+				c.cfg.OnError(fmt.Errorf("stomp: read: %w", err))
+			}
+			return
+		}
+		switch f.Command {
+		case CmdMessage:
+			c.mu.Lock()
+			handler := c.subs[f.Header(HdrSubscription)]
+			c.mu.Unlock()
+			if handler != nil {
+				handler(f)
+			}
+		case CmdReceipt:
+			c.mu.Lock()
+			ch := c.receipts[f.Header(HdrReceiptID)]
+			delete(c.receipts, f.Header(HdrReceiptID))
+			c.mu.Unlock()
+			if ch != nil {
+				close(ch)
+			}
+		case CmdError:
+			if c.cfg.OnError != nil {
+				c.cfg.OnError(fmt.Errorf("stomp: server error: %s: %s", f.Header(HdrMessage), f.Body))
+			}
+		}
+	}
+}
+
+// Send publishes a SEND frame to the destination with the given headers
+// and body. Reserved routing headers (destination) are set from arguments.
+func (c *Client) Send(destination string, headers map[string]string, body []byte) error {
+	f := NewFrame(CmdSend)
+	for k, v := range headers {
+		f.SetHeader(k, v)
+	}
+	f.SetHeader(HdrDestination, destination)
+	f.Body = body
+	return c.writeFrame(f)
+}
+
+// SendReceipt is Send with a receipt: it blocks until the broker confirms
+// processing or the timeout elapses.
+func (c *Client) SendReceipt(destination string, headers map[string]string, body []byte, timeout time.Duration) error {
+	f := NewFrame(CmdSend)
+	for k, v := range headers {
+		f.SetHeader(k, v)
+	}
+	f.SetHeader(HdrDestination, destination)
+	f.Body = body
+	return c.sendWithReceipt(f, timeout)
+}
+
+// Subscribe registers a subscription on a destination with an optional
+// SQL-92 selector and extra headers (SafeWeb's engine adds the clearance
+// header here). It returns the subscription id. "Subscriptions include
+// unique identifiers to simplify the handling of subscriptions issued by
+// different units" (§4.2).
+func (c *Client) Subscribe(destination, sel string, extraHeaders map[string]string, handler MessageHandler) (string, error) {
+	if handler == nil {
+		return "", errors.New("stomp: nil subscription handler")
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return "", net.ErrClosed
+	}
+	c.nextID++
+	id := "sub-" + strconv.FormatUint(c.nextID, 10)
+	c.subs[id] = handler
+	c.mu.Unlock()
+
+	f := NewFrame(CmdSubscribe)
+	f.SetHeader(HdrID, id)
+	f.SetHeader(HdrDestination, destination)
+	if sel != "" {
+		f.SetHeader(HdrSelector, sel)
+	}
+	for k, v := range extraHeaders {
+		f.SetHeader(k, v)
+	}
+	if err := c.writeFrame(f); err != nil {
+		c.mu.Lock()
+		delete(c.subs, id)
+		c.mu.Unlock()
+		return "", err
+	}
+	return id, nil
+}
+
+// Unsubscribe cancels a subscription by id.
+func (c *Client) Unsubscribe(id string) error {
+	c.mu.Lock()
+	delete(c.subs, id)
+	c.mu.Unlock()
+	f := NewFrame(CmdUnsubscribe)
+	f.SetHeader(HdrID, id)
+	return c.writeFrame(f)
+}
+
+// sendWithReceipt attaches a receipt header, sends, and waits.
+func (c *Client) sendWithReceipt(f *Frame, timeout time.Duration) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return net.ErrClosed
+	}
+	c.nextID++
+	rid := "rcpt-" + strconv.FormatUint(c.nextID, 10)
+	ch := make(chan struct{})
+	c.receipts[rid] = ch
+	c.mu.Unlock()
+
+	f.SetHeader(HdrReceipt, rid)
+	if err := c.writeFrame(f); err != nil {
+		c.mu.Lock()
+		delete(c.receipts, rid)
+		c.mu.Unlock()
+		return err
+	}
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-c.readDone:
+		return net.ErrClosed
+	case <-timer.C:
+		c.mu.Lock()
+		delete(c.receipts, rid)
+		c.mu.Unlock()
+		return fmt.Errorf("stomp: receipt %s timed out after %v", rid, timeout)
+	}
+}
+
+// Disconnect performs a graceful DISCONNECT with receipt, then closes.
+func (c *Client) Disconnect(timeout time.Duration) error {
+	f := NewFrame(CmdDisconnect)
+	err := c.sendWithReceipt(f, timeout)
+	closeErr := c.Close()
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return closeErr
+}
+
+// Close tears the connection down immediately.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readDone
+	return err
+}

@@ -1,0 +1,181 @@
+package stomp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, f *Frame) *Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	back, err := ReadFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	return back
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := NewFrame(CmdSend)
+	f.SetHeader(HdrDestination, "/patient_report")
+	f.SetHeader("patient_id", "33812769")
+	f.SetHeader("x-safeweb-labels", "label:conf:ecric.org.uk/mdt/7")
+	f.Body = []byte(`{"record": true}`)
+
+	back := roundTrip(t, f)
+	if back.Command != CmdSend {
+		t.Errorf("Command = %q", back.Command)
+	}
+	if back.Header(HdrDestination) != "/patient_report" {
+		t.Errorf("destination = %q", back.Header(HdrDestination))
+	}
+	if back.Header("patient_id") != "33812769" {
+		t.Errorf("patient_id = %q", back.Header("patient_id"))
+	}
+	if !bytes.Equal(back.Body, f.Body) {
+		t.Errorf("body = %q", back.Body)
+	}
+}
+
+func TestFrameRoundTripEmptyBody(t *testing.T) {
+	f := NewFrame(CmdDisconnect)
+	back := roundTrip(t, f)
+	if back.Body != nil {
+		t.Errorf("body = %q, want nil", back.Body)
+	}
+}
+
+func TestHeaderEscaping(t *testing.T) {
+	f := NewFrame(CmdSend)
+	f.SetHeader(HdrDestination, "/t")
+	f.SetHeader("tricky", "line1\nline2:with\\colon\rand-cr")
+	back := roundTrip(t, f)
+	if got := back.Header("tricky"); got != "line1\nline2:with\\colon\rand-cr" {
+		t.Errorf("tricky header = %q", got)
+	}
+}
+
+func TestBodyWithNulBytes(t *testing.T) {
+	f := NewFrame(CmdSend)
+	f.SetHeader(HdrDestination, "/t")
+	f.Body = []byte{1, 0, 2, 0, 3}
+	back := roundTrip(t, f)
+	if !bytes.Equal(back.Body, f.Body) {
+		t.Errorf("body = %v", back.Body)
+	}
+}
+
+func TestReadFrameWithoutContentLength(t *testing.T) {
+	raw := "SEND\ndestination:/t\n\nhello\x00"
+	f, err := ReadFrame(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if string(f.Body) != "hello" {
+		t.Errorf("body = %q", f.Body)
+	}
+}
+
+func TestReadFrameSkipsHeartbeats(t *testing.T) {
+	raw := "\n\n\nSEND\ndestination:/t\n\n\x00"
+	f, err := ReadFrame(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if f.Command != CmdSend {
+		t.Errorf("Command = %q", f.Command)
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"unknown command", "BOGUS\n\n\x00"},
+		{"malformed header", "SEND\nno-colon-here\n\n\x00"},
+		{"bad escape", "SEND\ndest\\qination:/t\n\n\x00"},
+		{"bad content length", "SEND\ncontent-length:banana\n\n\x00"},
+		{"negative content length", "SEND\ncontent-length:-5\n\n\x00"},
+		{"missing terminator", "SEND\ncontent-length:2\n\nab"},
+		{"wrong terminator", "SEND\ncontent-length:2\n\nabX"},
+		{"unterminated", "SEND\ndestination:/t\n\nbody with no nul"},
+		{"truncated headers", "SEND\ndestination:/t\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadFrame(bufio.NewReader(strings.NewReader(tc.raw)))
+			if err == nil {
+				t.Fatalf("ReadFrame(%q) succeeded", tc.raw)
+			}
+		})
+	}
+}
+
+func TestReadFrameCleanEOF(t *testing.T) {
+	_, err := ReadFrame(bufio.NewReader(strings.NewReader("")))
+	if !errors.Is(err, io.EOF) {
+		t.Errorf("err = %v, want io.EOF", err)
+	}
+	// EOF after heart-beats is also clean.
+	_, err = ReadFrame(bufio.NewReader(strings.NewReader("\n\n")))
+	if !errors.Is(err, io.EOF) {
+		t.Errorf("err after heartbeats = %v, want io.EOF", err)
+	}
+}
+
+func TestRepeatedHeaderFirstWins(t *testing.T) {
+	raw := "SEND\ndestination:/a\ndestination:/b\n\n\x00"
+	f, err := ReadFrame(bufio.NewReader(strings.NewReader(raw)))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if f.Header(HdrDestination) != "/a" {
+		t.Errorf("destination = %q, want /a", f.Header(HdrDestination))
+	}
+}
+
+func TestWriteFrameEmptyCommand(t *testing.T) {
+	if err := WriteFrame(io.Discard, &Frame{}); err == nil {
+		t.Error("WriteFrame with empty command succeeded")
+	}
+}
+
+func TestFrameClone(t *testing.T) {
+	f := NewFrame(CmdSend)
+	f.SetHeader("k", "v")
+	f.Body = []byte("b")
+	c := f.Clone()
+	c.SetHeader("k", "changed")
+	c.Body[0] = 'X'
+	if f.Header("k") != "v" || string(f.Body) != "b" {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := NewFrame(CmdSend)
+	f.SetHeader("b", "2")
+	f.SetHeader("a", "1")
+	f.Body = []byte("xyz")
+	s := f.String()
+	if !strings.HasPrefix(s, "SEND") || !strings.Contains(s, `a="1"`) || !strings.Contains(s, "body=3B") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestUnescapeHeaderErrors(t *testing.T) {
+	if _, err := unescapeHeader(`trailing\`); err == nil {
+		t.Error("dangling escape accepted")
+	}
+	if _, err := unescapeHeader(`bad\q`); err == nil {
+		t.Error("undefined escape accepted")
+	}
+}

@@ -1,0 +1,240 @@
+package stomp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoHandler is a SessionHandler that re-delivers every SEND back to the
+// sending session as a MESSAGE on the same destination, tagged with the
+// session's first subscription id. It is enough to exercise the full
+// client/server path without the broker package.
+type echoHandler struct {
+	mu       sync.Mutex
+	subsByID map[uint64]string // session id -> subscription id
+	logins   []string
+}
+
+func newEchoHandler() *echoHandler {
+	return &echoHandler{subsByID: make(map[uint64]string)}
+}
+
+func (h *echoHandler) OnConnect(sess *Session, login string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.logins = append(h.logins, login)
+	if login == "rejected-user" {
+		return errors.New("user is banned")
+	}
+	return nil
+}
+
+func (h *echoHandler) OnFrame(sess *Session, f *Frame) error {
+	switch f.Command {
+	case CmdSubscribe:
+		h.mu.Lock()
+		h.subsByID[sess.ID()] = f.Header(HdrID)
+		h.mu.Unlock()
+	case CmdSend:
+		h.mu.Lock()
+		subID := h.subsByID[sess.ID()]
+		h.mu.Unlock()
+		if subID == "" {
+			return nil
+		}
+		msg := f.Clone()
+		msg.Command = CmdMessage
+		msg.SetHeader(HdrSubscription, subID)
+		msg.SetHeader(HdrMessageID, "m-1")
+		return sess.Send(msg)
+	}
+	return nil
+}
+
+func (h *echoHandler) OnDisconnect(*Session) {}
+
+func startEchoServer(t *testing.T, auth Authenticator) *Server {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{
+		Handler:      newEchoHandler(),
+		Authenticate: auth,
+		Logf:         t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+func TestClientServerEcho(t *testing.T) {
+	srv := startEchoServer(t, nil)
+
+	received := make(chan *Frame, 1)
+	client, err := Dial(srv.Addr(), ClientConfig{Login: "unit-a"})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+
+	if _, err := client.Subscribe("/topic", "", nil, func(f *Frame) {
+		received <- f
+	}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	headers := map[string]string{"patient_id": "1"}
+	if err := client.SendReceipt("/topic", headers, []byte("payload"), 5*time.Second); err != nil {
+		t.Fatalf("SendReceipt: %v", err)
+	}
+
+	select {
+	case f := <-received:
+		if f.Header("patient_id") != "1" || string(f.Body) != "payload" {
+			t.Errorf("echoed frame wrong: %v", f)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no message received")
+	}
+}
+
+func TestServerAuthentication(t *testing.T) {
+	auth := func(login, passcode string) error {
+		if passcode != "secret" {
+			return errors.New("bad passcode")
+		}
+		return nil
+	}
+	srv := startEchoServer(t, auth)
+
+	if _, err := Dial(srv.Addr(), ClientConfig{Login: "u", Passcode: "wrong"}); err == nil {
+		t.Error("bad passcode accepted")
+	}
+	c, err := Dial(srv.Addr(), ClientConfig{Login: "u", Passcode: "secret"})
+	if err != nil {
+		t.Fatalf("good passcode rejected: %v", err)
+	}
+	_ = c.Close()
+}
+
+func TestHandlerConnectRejection(t *testing.T) {
+	srv := startEchoServer(t, nil)
+	if _, err := Dial(srv.Addr(), ClientConfig{Login: "rejected-user"}); err == nil {
+		t.Error("handler rejection not surfaced to client")
+	}
+}
+
+func TestClientDisconnectGraceful(t *testing.T) {
+	srv := startEchoServer(t, nil)
+	client, err := Dial(srv.Addr(), ClientConfig{Login: "u"})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if err := client.Disconnect(5 * time.Second); err != nil {
+		t.Errorf("Disconnect: %v", err)
+	}
+	// Idempotent close.
+	if err := client.Close(); err != nil {
+		t.Errorf("Close after Disconnect: %v", err)
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	srv := startEchoServer(t, nil)
+	client, err := Dial(srv.Addr(), ClientConfig{Login: "u"})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+
+	var mu sync.Mutex
+	count := 0
+	id, err := client.Subscribe("/t", "", nil, func(*Frame) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	if err := client.SendReceipt("/t", nil, nil, 5*time.Second); err != nil {
+		t.Fatalf("SendReceipt: %v", err)
+	}
+	if err := client.Unsubscribe(id); err != nil {
+		t.Fatalf("Unsubscribe: %v", err)
+	}
+	if err := client.SendReceipt("/t", nil, nil, 5*time.Second); err != nil {
+		t.Fatalf("SendReceipt 2: %v", err)
+	}
+	// The first message may still be in flight; wait for it.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := count
+		mu.Unlock()
+		if n >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	final := count
+	mu.Unlock()
+	if final > 1 {
+		t.Errorf("received %d messages after unsubscribe, want <= 1", final)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv := startEchoServer(t, nil)
+	errs := make(chan error, 1)
+	client, err := Dial(srv.Addr(), ClientConfig{
+		Login:   "u",
+		OnError: func(err error) { errs <- err },
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("server Close: %v", err)
+	}
+	select {
+	case <-errs:
+		// read loop observed the close — good
+	case <-time.After(5 * time.Second):
+		t.Fatal("client did not observe server close")
+	}
+}
+
+func TestConcurrentSends(t *testing.T) {
+	srv := startEchoServer(t, nil)
+	client, err := Dial(srv.Addr(), ClientConfig{Login: "u"})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+
+	const n = 50
+	var wg sync.WaitGroup
+	errCount := 0
+	var mu sync.Mutex
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := client.Send("/t", map[string]string{"k": "v"}, []byte("x")); err != nil {
+				mu.Lock()
+				errCount++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if errCount != 0 {
+		t.Errorf("%d concurrent sends failed", errCount)
+	}
+}

@@ -1,0 +1,260 @@
+package stomp
+
+import (
+	"bufio"
+	"crypto/tls"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// SessionHandler receives the frames of one authenticated client session.
+// The server calls OnFrame sequentially for each inbound frame of a
+// session; implementations may send frames back at any time via the
+// session's Send method, which is safe for concurrent use.
+type SessionHandler interface {
+	// OnConnect is called after a CONNECT frame is accepted. login is the
+	// client's login header (the principal name used for policy lookups).
+	OnConnect(sess *Session, login string) error
+	// OnFrame is called for each subsequent inbound frame except
+	// DISCONNECT.
+	OnFrame(sess *Session, f *Frame) error
+	// OnDisconnect is called exactly once when the session ends, whether
+	// by DISCONNECT, error or connection loss.
+	OnDisconnect(sess *Session)
+}
+
+// Session is one server-side client connection.
+type Session struct {
+	id    uint64
+	login string
+
+	conn net.Conn
+
+	writeMu sync.Mutex
+	closed  atomic.Bool
+}
+
+// ID returns the server-unique session id.
+func (s *Session) ID() uint64 { return s.id }
+
+// Login returns the login (principal) name presented at CONNECT.
+func (s *Session) Login() string { return s.login }
+
+// Send writes a frame to the client. It is safe for concurrent use.
+func (s *Session) Send(f *Frame) error {
+	if s.closed.Load() {
+		return net.ErrClosed
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return WriteFrame(s.conn, f)
+}
+
+// SendError sends an ERROR frame with the given message; the STOMP spec
+// requires the connection to close afterwards, which the server does.
+func (s *Session) SendError(msg string, body string) {
+	f := NewFrame(CmdError)
+	f.SetHeader(HdrMessage, msg)
+	f.Body = []byte(body)
+	_ = s.Send(f) // connection is being torn down; nothing to do on failure
+}
+
+// Close terminates the session's connection.
+func (s *Session) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	return s.conn.Close()
+}
+
+// Authenticator validates CONNECT credentials. It returns an error to
+// reject the connection.
+type Authenticator func(login, passcode string) error
+
+// ServerConfig configures a Server.
+type ServerConfig struct {
+	// Handler receives session frames. Required.
+	Handler SessionHandler
+	// Authenticate validates CONNECT credentials; nil accepts everyone.
+	Authenticate Authenticator
+	// TLS, when non-nil, wraps the listener in TLS (the paper extends
+	// StompServer "with SSL support at the transport layer", §4.2).
+	TLS *tls.Config
+	// Logf logs server events; nil uses log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Server is a STOMP server: it owns the listener, performs the CONNECT
+// handshake, and hands authenticated sessions to the configured handler.
+type Server struct {
+	cfg      ServerConfig
+	listener net.Listener
+
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+	nextID   uint64
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer starts a server listening on addr ("host:port"; port 0 picks a
+// free port). The returned server is already accepting connections.
+func NewServer(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.Handler == nil {
+		return nil, errors.New("stomp: ServerConfig.Handler is required")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stomp: listen: %w", err)
+	}
+	if cfg.TLS != nil {
+		ln = tls.NewListener(ln, cfg.TLS)
+	}
+	srv := &Server{
+		cfg:      cfg,
+		listener: ln,
+		sessions: make(map[uint64]*Session),
+	}
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	return srv, nil
+}
+
+// Addr returns the listener address, e.g. for clients to dial.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops accepting, closes all sessions and waits for handler
+// goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	sessions := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	err := s.listener.Close()
+	for _, sess := range sessions {
+		_ = sess.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.nextID++
+		sess := &Session{id: s.nextID, conn: conn}
+		s.sessions[sess.id] = sess
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go s.serveSession(sess)
+	}
+}
+
+func (s *Server) serveSession(sess *Session) {
+	defer s.wg.Done()
+	defer func() {
+		_ = sess.Close()
+		s.mu.Lock()
+		delete(s.sessions, sess.id)
+		s.mu.Unlock()
+	}()
+
+	r := bufio.NewReaderSize(sess.conn, 32*1024)
+
+	// Handshake: first frame must be CONNECT.
+	first, err := ReadFrame(r)
+	if err != nil {
+		return
+	}
+	if first.Command != CmdConnect {
+		sess.SendError("expected CONNECT", "")
+		return
+	}
+	login := first.Header(HdrLogin)
+	if s.cfg.Authenticate != nil {
+		if err := s.cfg.Authenticate(login, first.Header(HdrPasscode)); err != nil {
+			sess.SendError("authentication failed", err.Error())
+			return
+		}
+	}
+	sess.login = login
+	if err := s.cfg.Handler.OnConnect(sess, login); err != nil {
+		sess.SendError("connection rejected", err.Error())
+		return
+	}
+	defer s.cfg.Handler.OnDisconnect(sess)
+
+	connected := NewFrame(CmdConnected)
+	connected.SetHeader(HdrSession, strconv.FormatUint(sess.id, 10))
+	connected.SetHeader(HdrVersion, "1.1")
+	if err := sess.Send(connected); err != nil {
+		return
+	}
+
+	for {
+		f, err := ReadFrame(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !isClosedConn(err) {
+				var pe *ProtocolError
+				if errors.As(err, &pe) {
+					sess.SendError("protocol error", pe.Msg)
+				}
+				s.cfg.Logf("stomp: session %d read error: %v", sess.id, err)
+			}
+			return
+		}
+		if f.Command == CmdDisconnect {
+			s.ack(sess, f)
+			return
+		}
+		if err := s.cfg.Handler.OnFrame(sess, f); err != nil {
+			sess.SendError("frame rejected", err.Error())
+			return
+		}
+		s.ack(sess, f)
+	}
+}
+
+// ack sends a RECEIPT if the frame asked for one.
+func (s *Server) ack(sess *Session, f *Frame) {
+	receipt := f.Header(HdrReceipt)
+	if receipt == "" {
+		return
+	}
+	rf := NewFrame(CmdReceipt)
+	rf.SetHeader(HdrReceiptID, receipt)
+	_ = sess.Send(rf) // best effort; client may already be gone
+}
+
+func isClosedConn(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF)
+}

@@ -1,0 +1,82 @@
+package taint
+
+import (
+	"html"
+	"strings"
+
+	"safeweb/internal/label"
+)
+
+// Input taint: protection against injection attacks (paper §4.4, last
+// paragraph). Ruby marks objects originating from the user with a `taint`
+// flag that propagates through string processing, "similar to our label
+// propagation"; "in the context of web applications, this mechanism can
+// be used to ensure that every string is sanitised before being used in a
+// sensitive operation, such as an HTML response or an SQL query."
+//
+// This reproduction models the flag as a reserved *sticky* marker carried
+// in the value's label set: FromUser attaches it, every derived value
+// inherits it through the ordinary confidentiality-composition rules, and
+// sanitisation transforms remove it. The webfront response writer refuses
+// to release a response still carrying the marker, which is the "HTML
+// response" sink check; SanitizeSQL covers selector/query interpolation.
+//
+// The marker lives under a safeweb-internal authority and never appears
+// in policies, stored documents or wire formats: boundary code uses
+// PublicLabels to strip it.
+
+// UserInputAuthority is the reserved label namespace for the marker.
+const UserInputAuthority = "safeweb.internal"
+
+// userTaintName is the marker label's name.
+const userTaintName = UserInputAuthority + "/user-input"
+
+// UserTaintLabel is the sticky marker attached to unsanitised user input.
+func UserTaintLabel() label.Label { return label.Conf(userTaintName) }
+
+// FromUser wraps raw user input (form fields, query parameters, path
+// segments) as a labelled string carrying the user-input marker. Any
+// value derived from it — by Concat, Sprintf, Replace, template
+// interpolation — carries the marker too.
+func FromUser(s string) String {
+	return String{s: s, labels: label.NewSet(UserTaintLabel())}
+}
+
+// IsUserTainted reports whether the string derives from unsanitised user
+// input.
+func (s String) IsUserTainted() bool {
+	return s.labels.Contains(UserTaintLabel())
+}
+
+// SanitizeHTML returns the string HTML-escaped with the user-input marker
+// removed — safe for HTML response sinks.
+func (s String) SanitizeHTML() String {
+	return String{
+		s:      html.EscapeString(s.s),
+		labels: s.labels.Without(UserTaintLabel()),
+	}
+}
+
+// SanitizeSQL returns the string with single quotes doubled (SQL string
+// literal escaping) and the marker removed, for interpolation into
+// SQL-style selector expressions.
+func (s String) SanitizeSQL() String {
+	return String{
+		s:      strings.ReplaceAll(s.s, "'", "''"),
+		labels: s.labels.Without(UserTaintLabel()),
+	}
+}
+
+// DeclareSanitized removes the marker without transforming the content,
+// for application-specific validators (e.g. a parser that accepted the
+// input as a well-formed patient id). It is the audited escape hatch.
+func (s String) DeclareSanitized() String {
+	return String{s: s.s, labels: s.labels.Without(UserTaintLabel())}
+}
+
+// PublicLabels returns the string's labels with the internal user-input
+// marker removed — the set that stores, events and policy checks should
+// see. The marker is a frontend-local mechanism, not a policy label.
+func (s String) PublicLabels() label.Set {
+	return s.labels.Without(UserTaintLabel())
+}

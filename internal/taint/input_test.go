@@ -1,0 +1,97 @@
+package taint
+
+import (
+	"strings"
+	"testing"
+
+	"safeweb/internal/label"
+)
+
+func TestFromUserIsTainted(t *testing.T) {
+	s := FromUser(`<script>alert(1)</script>`)
+	if !s.IsUserTainted() {
+		t.Fatal("FromUser not tainted")
+	}
+	if NewString("literal").IsUserTainted() {
+		t.Error("literal tainted")
+	}
+}
+
+func TestUserTaintSticky(t *testing.T) {
+	user := FromUser("evil")
+	cases := map[string]String{
+		"concat left":  user.Concat(NewString(" suffix")),
+		"concat right": NewString("prefix ").Concat(user),
+		"sprintf":      Sprintf("hello %s", user),
+		"replace":      NewString("X").Replace("X", user, 1),
+		"join":         Join([]String{NewString("a"), user}, ","),
+		"upper":        user.ToUpper(),
+		"split part":   user.Split("v")[0],
+	}
+	for name, got := range cases {
+		if !got.IsUserTainted() {
+			t.Errorf("%s lost user taint", name)
+		}
+	}
+}
+
+func TestSanitizeHTML(t *testing.T) {
+	s := FromUser(`<script>alert("x")</script>`).SanitizeHTML()
+	if s.IsUserTainted() {
+		t.Error("sanitised string still tainted")
+	}
+	if strings.Contains(s.Raw(), "<script>") {
+		t.Errorf("not escaped: %q", s.Raw())
+	}
+	// Sanitisation keeps confidentiality labels.
+	conf := label.Conf("a")
+	labelled := FromUser("x").WithLabels(conf).SanitizeHTML()
+	if !labelled.Labels().Contains(conf) {
+		t.Error("sanitisation dropped confidentiality label")
+	}
+}
+
+func TestSanitizeSQL(t *testing.T) {
+	s := FromUser(`x' OR '1'='1`).SanitizeSQL()
+	if s.IsUserTainted() {
+		t.Error("still tainted")
+	}
+	if s.Raw() != `x'' OR ''1''=''1` {
+		t.Errorf("escaped = %q", s.Raw())
+	}
+}
+
+func TestDeclareSanitized(t *testing.T) {
+	s := FromUser("33812769").DeclareSanitized()
+	if s.IsUserTainted() {
+		t.Error("still tainted")
+	}
+	if s.Raw() != "33812769" {
+		t.Errorf("content changed: %q", s.Raw())
+	}
+}
+
+func TestPublicLabelsStripsMarker(t *testing.T) {
+	conf := label.Conf("a")
+	s := FromUser("x").WithLabels(conf)
+	pub := s.PublicLabels()
+	if pub.Contains(UserTaintLabel()) {
+		t.Error("marker leaked into public labels")
+	}
+	if !pub.Contains(conf) {
+		t.Error("public labels lost real label")
+	}
+}
+
+// TestInjectionThroughSelector: the SanitizeSQL transform must defang a
+// selector injection — the classic attack the paper's last §4.4 paragraph
+// defends against.
+func TestInjectionThroughSelector(t *testing.T) {
+	malicious := FromUser("cancer' OR type <> '")
+	selectorSrc := "type = '" + malicious.SanitizeSQL().Raw() + "'"
+	// The doubled quotes keep the whole payload inside one string
+	// literal, so the selector matches nothing rather than everything.
+	if !strings.Contains(selectorSrc, "''") {
+		t.Errorf("selector = %q", selectorSrc)
+	}
+}

@@ -1,0 +1,143 @@
+package taint
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"safeweb/internal/label"
+)
+
+// quickStr generates random labelled strings over a small label universe.
+type quickStr struct{ S String }
+
+// Generate implements quick.Generator.
+func (quickStr) Generate(rnd *rand.Rand, _ int) reflect.Value {
+	labels := []label.Label{
+		label.Conf("a"), label.Conf("b"), label.Conf("c"),
+		label.Int("i"), label.Int("j"),
+	}
+	set := make(label.Set)
+	for _, l := range labels {
+		if rnd.Intn(3) == 0 {
+			set[l] = struct{}{}
+		}
+	}
+	content := make([]byte, rnd.Intn(12))
+	for i := range content {
+		content[i] = byte('a' + rnd.Intn(26))
+	}
+	return reflect.ValueOf(quickStr{S: WrapString(string(content), set)})
+}
+
+var _cfg = &quick.Config{MaxCount: 400}
+
+// TestQuickConcatConfMonotonic: the core taint-tracking safety property —
+// no confidentiality label of any operand is ever lost by an operation.
+func TestQuickConcatConfMonotonic(t *testing.T) {
+	prop := func(a, b quickStr) bool {
+		c := a.S.Concat(b.S)
+		return a.S.Labels().Confidentiality().SubsetOf(c.Labels()) &&
+			b.S.Labels().Confidentiality().SubsetOf(c.Labels())
+	}
+	if err := quick.Check(prop, _cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConcatContent: contents concatenate exactly.
+func TestQuickConcatContent(t *testing.T) {
+	prop := func(a, b quickStr) bool {
+		return a.S.Concat(b.S).Raw() == a.S.Raw()+b.S.Raw()
+	}
+	if err := quick.Check(prop, _cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickConcatIntegrityFragile: an integrity label appears on the
+// result iff all operands carry it.
+func TestQuickConcatIntegrityFragile(t *testing.T) {
+	prop := func(a, b quickStr) bool {
+		c := a.S.Concat(b.S)
+		want := a.S.Labels().Integrity().Intersect(b.S.Labels().Integrity())
+		return c.Labels().Integrity().Equal(want)
+	}
+	if err := quick.Check(prop, _cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSplitJoinPreservesConf: splitting and rejoining keeps content
+// and never loses confidentiality labels.
+func TestQuickSplitJoinPreservesConf(t *testing.T) {
+	prop := func(a quickStr) bool {
+		parts := a.S.Split("x")
+		joined := Join(parts, "x")
+		if joined.Raw() != a.S.Raw() {
+			return false
+		}
+		return a.S.Labels().Confidentiality().SubsetOf(joined.Labels())
+	}
+	if err := quick.Check(prop, _cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSprintfCollectsAll: Sprintf output carries every argument's
+// confidentiality labels.
+func TestQuickSprintfCollectsAll(t *testing.T) {
+	prop := func(a, b, c quickStr) bool {
+		out := Sprintf("%s|%s|%s", a.S, b.S, c.S)
+		for _, in := range []quickStr{a, b, c} {
+			if !in.S.Labels().Confidentiality().SubsetOf(out.Labels()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, _cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNumberOpsMonotonic: arithmetic never loses confidentiality.
+func TestQuickNumberOpsMonotonic(t *testing.T) {
+	prop := func(x, y int16, pick uint8) bool {
+		a := WrapNumber(float64(x), label.NewSet(label.Conf("a")))
+		b := WrapNumber(float64(y), label.NewSet(label.Conf("b")))
+		var c Number
+		switch pick % 4 {
+		case 0:
+			c = a.Add(b)
+		case 1:
+			c = a.Sub(b)
+		case 2:
+			c = a.Mul(b)
+		default:
+			c = a.Div(b)
+		}
+		return c.Labels().Contains(label.Conf("a")) && c.Labels().Contains(label.Conf("b"))
+	}
+	if err := quick.Check(prop, _cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDocMarshalCarriesAllConf: a serialised document's labels cover
+// the confidentiality of every field.
+func TestQuickDocMarshalCarriesAllConf(t *testing.T) {
+	prop := func(a, b quickStr) bool {
+		doc := Doc{"a": a.S, "b": b.S}
+		s, err := doc.ToJSON()
+		if err != nil {
+			return false
+		}
+		return a.S.Labels().Confidentiality().SubsetOf(s.Labels()) &&
+			b.S.Labels().Confidentiality().SubsetOf(s.Labels())
+	}
+	if err := quick.Check(prop, _cfg); err != nil {
+		t.Error(err)
+	}
+}

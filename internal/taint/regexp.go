@@ -1,0 +1,80 @@
+package taint
+
+import (
+	"regexp"
+
+	"safeweb/internal/label"
+)
+
+// Regular-expression support. The paper needed the Rubinius runtime
+// specifically "to manipulate the regular expression variables ($~, $1,
+// etc.) directly... to add taint tracking to Ruby's regular expression
+// methods" (§4.4). Go's regexp API has no global match variables; the
+// equivalent guarantee is that every submatch extracted from a labelled
+// string carries the subject's labels.
+
+// Match is the result of a successful regular-expression match against a
+// labelled string: the whole match and every capture group are labelled
+// with the subject's labels (any substring of labelled data is as
+// confidential as the whole).
+type Match struct {
+	groups []String
+	names  []string
+}
+
+// MatchRegexp applies re to the labelled subject. ok is false when the
+// pattern does not match.
+func MatchRegexp(re *regexp.Regexp, subject String) (m Match, ok bool) {
+	groups := re.FindStringSubmatch(subject.s)
+	if groups == nil {
+		return Match{}, false
+	}
+	out := Match{
+		groups: make([]String, len(groups)),
+		names:  re.SubexpNames(),
+	}
+	for i, g := range groups {
+		out.groups[i] = String{s: g, labels: subject.labels}
+	}
+	return out, true
+}
+
+// Group returns the i-th capture group (0 is the whole match). Out-of-range
+// indices return the empty string, matching the forgiving semantics of
+// Ruby's $1..$9.
+func (m Match) Group(i int) String {
+	if i < 0 || i >= len(m.groups) {
+		return String{}
+	}
+	return m.groups[i]
+}
+
+// Named returns the capture group with the given name, or the empty string.
+func (m Match) Named(name string) String {
+	for i, n := range m.names {
+		if n == name && i < len(m.groups) {
+			return m.groups[i]
+		}
+	}
+	return String{}
+}
+
+// NumGroups returns the number of groups including the whole match.
+func (m Match) NumGroups() int { return len(m.groups) }
+
+// ReplaceAllRegexp returns subject with matches of re replaced by repl
+// (which may use $1-style references). The result composes subject and
+// replacement labels.
+func ReplaceAllRegexp(re *regexp.Regexp, subject String, repl String) String {
+	return String{
+		s:      re.ReplaceAllString(subject.s, repl.s),
+		labels: label.Derive(subject.labels, repl.labels),
+	}
+}
+
+// MatchString reports whether re matches the labelled subject. The boolean
+// itself is an implicit flow the paper's model accepts (Resin-style
+// tracking targets explicit data flow of non-malicious code, §3.2).
+func MatchString(re *regexp.Regexp, subject String) bool {
+	return re.MatchString(subject.s)
+}

@@ -1,0 +1,274 @@
+// Package taint implements SafeWeb's variable-level taint tracking for the
+// web frontend (paper §4.4, Fig. 3).
+//
+// In the Ruby implementation, SafeWeb redefines String and Numeric methods
+// so that labels stored inside each instance propagate transparently
+// through application code. Go is statically typed, so the equivalent is a
+// family of labelled value types — String, Number and Doc — whose
+// operations (concatenation, formatting, regular expressions, arithmetic,
+// JSON encoding) propagate labels with the same semantics: the label set
+// of any derived value is the composition of its sources' labels
+// (confidentiality sticky, integrity fragile).
+//
+// Application code in the frontend works with these types end-to-end; the
+// webfront package checks the accumulated response labels against the
+// authenticated user's privileges before release, which is where the
+// paper's end-to-end guarantee is enforced.
+package taint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"safeweb/internal/label"
+)
+
+// String is a labelled string. The zero value is the empty, unlabelled
+// string. String values are immutable; operations return new values.
+type String struct {
+	s      string
+	labels label.Set
+}
+
+// NewString creates a labelled string.
+func NewString(s string, labels ...label.Label) String {
+	return String{s: s, labels: label.NewSet(labels...)}
+}
+
+// WrapString attaches an existing label set to a string.
+func WrapString(s string, labels label.Set) String {
+	return String{s: s, labels: labels}
+}
+
+// Raw returns the underlying string without any label check. It is the
+// taint-tracking escape hatch: trusted code uses it at checked boundaries
+// (the webfront response writer) and in key positions (map keys, database
+// ids) where labels are carried by the surrounding structure.
+func (s String) Raw() string { return s.s }
+
+// Labels returns the string's label set.
+func (s String) Labels() label.Set { return s.labels }
+
+// Len returns the byte length.
+func (s String) Len() int { return len(s.s) }
+
+// IsEmpty reports whether the string is empty.
+func (s String) IsEmpty() bool { return s.s == "" }
+
+// WithLabels returns a copy with extra labels attached. Raising
+// confidentiality is always permitted, so no privilege is needed; use
+// package webfront's declassification helpers to remove labels.
+func (s String) WithLabels(labels ...label.Label) String {
+	return String{s: s.s, labels: s.labels.With(labels...)}
+}
+
+// derive composes the labels of sources that contributed to a value.
+func derive(sets ...label.Set) label.Set { return label.Derive(sets...) }
+
+// Concat returns s + others with composed labels, the paper's canonical
+// example: "when two strings are concatenated, the resulting string
+// receives both operands' labels."
+func (s String) Concat(others ...String) String {
+	var b strings.Builder
+	b.WriteString(s.s)
+	sets := make([]label.Set, 0, len(others)+1)
+	sets = append(sets, s.labels)
+	for _, o := range others {
+		b.WriteString(o.s)
+		sets = append(sets, o.labels)
+	}
+	return String{s: b.String(), labels: derive(sets...)}
+}
+
+// Append concatenates a plain (unlabelled) string fragment. The fragment
+// carries no integrity labels, so the result loses any integrity labels,
+// exactly as combining with untrusted data should.
+func (s String) Append(raw string) String {
+	return s.Concat(String{s: raw})
+}
+
+// Equal compares string contents (labels are not part of equality; they
+// describe provenance, not value).
+func (s String) Equal(other String) bool { return s.s == other.s }
+
+// EqualFold reports ASCII case-insensitive equality — provided because a
+// case-insensitive credential comparison is precisely the §5.2 "errors in
+// access checks" bug class, and application code that wants it should at
+// least get labels right.
+func (s String) EqualFold(other String) bool { return strings.EqualFold(s.s, other.s) }
+
+// ToUpper, ToLower, TrimSpace return transformed copies with the same
+// labels: transformation derives entirely from the receiver.
+func (s String) ToUpper() String   { return String{s: strings.ToUpper(s.s), labels: s.labels} }
+func (s String) ToLower() String   { return String{s: strings.ToLower(s.s), labels: s.labels} }
+func (s String) TrimSpace() String { return String{s: strings.TrimSpace(s.s), labels: s.labels} }
+
+// Contains reports whether substr occurs in s.
+func (s String) Contains(substr string) bool { return strings.Contains(s.s, substr) }
+
+// HasPrefix reports whether s starts with prefix.
+func (s String) HasPrefix(prefix string) bool { return strings.HasPrefix(s.s, prefix) }
+
+// Split divides s around sep; every part inherits the full label set, as
+// any substring of labelled data is as confidential as the whole.
+func (s String) Split(sep string) []String {
+	parts := strings.Split(s.s, sep)
+	out := make([]String, len(parts))
+	for i, p := range parts {
+		out[i] = String{s: p, labels: s.labels}
+	}
+	return out
+}
+
+// Replace returns s with occurrences of old replaced by new; the
+// replacement's labels join the receiver's.
+func (s String) Replace(old string, new String, n int) String {
+	return String{
+		s:      strings.Replace(s.s, old, new.s, n),
+		labels: derive(s.labels, new.labels),
+	}
+}
+
+// Join concatenates parts with an unlabelled separator, composing all part
+// labels.
+func Join(parts []String, sep string) String {
+	if len(parts) == 0 {
+		return String{}
+	}
+	raw := make([]string, len(parts))
+	sets := make([]label.Set, len(parts))
+	for i, p := range parts {
+		raw[i] = p.s
+		sets[i] = p.labels
+	}
+	return String{s: strings.Join(raw, sep), labels: derive(sets...)}
+}
+
+// Sprintf formats like fmt.Sprintf while composing the labels of all
+// labelled arguments (String, Number, Doc, Value). Unlabelled arguments
+// contribute empty label sets, which correctly drops integrity labels from
+// the result.
+func Sprintf(format string, args ...any) String {
+	raw := make([]any, len(args))
+	sets := make([]label.Set, 0, len(args)+1)
+	sets = append(sets, nil) // the format string itself, unlabelled
+	for i, arg := range args {
+		switch v := arg.(type) {
+		case String:
+			raw[i] = v.s
+			sets = append(sets, v.labels)
+		case Number:
+			raw[i] = v.Float()
+			sets = append(sets, v.labels)
+		case Value:
+			raw[i] = v.v
+			sets = append(sets, v.labels)
+		default:
+			raw[i] = arg
+			sets = append(sets, nil)
+		}
+	}
+	return String{s: fmt.Sprintf(format, raw...), labels: derive(sets...)}
+}
+
+// String implements fmt.Stringer. It deliberately exposes the labels, not
+// the raw contents, so that accidentally logging a labelled value (the
+// paper's §3.1 logging-bug example) does not leak data into log files.
+func (s String) String() string {
+	if s.labels.IsEmpty() {
+		return s.s
+	}
+	return fmt.Sprintf("taint.String(%d bytes)[%s]", len(s.s), s.labels)
+}
+
+// Number is a labelled number. SafeWeb frontends use it for aggregates and
+// metrics (completeness percentages, survival statistics).
+type Number struct {
+	f      float64
+	labels label.Set
+}
+
+// NewNumber creates a labelled number.
+func NewNumber(f float64, labels ...label.Label) Number {
+	return Number{f: f, labels: label.NewSet(labels...)}
+}
+
+// WrapNumber attaches an existing label set to a number.
+func WrapNumber(f float64, labels label.Set) Number {
+	return Number{f: f, labels: labels}
+}
+
+// Float returns the numeric value without label checks (see String.Raw).
+func (n Number) Float() float64 { return n.f }
+
+// Int returns the truncated integer value.
+func (n Number) Int() int { return int(n.f) }
+
+// Labels returns the number's label set.
+func (n Number) Labels() label.Set { return n.labels }
+
+// Add, Sub, Mul, Div return arithmetic results with composed labels.
+func (n Number) Add(o Number) Number {
+	return Number{f: n.f + o.f, labels: derive(n.labels, o.labels)}
+}
+
+// Sub returns n - o.
+func (n Number) Sub(o Number) Number {
+	return Number{f: n.f - o.f, labels: derive(n.labels, o.labels)}
+}
+
+// Mul returns n * o.
+func (n Number) Mul(o Number) Number {
+	return Number{f: n.f * o.f, labels: derive(n.labels, o.labels)}
+}
+
+// Div returns n / o; division by zero yields 0 with composed labels (the
+// caller's arithmetic bug must not crash the request path).
+func (n Number) Div(o Number) Number {
+	var q float64
+	if o.f != 0 {
+		q = n.f / o.f
+	}
+	return Number{f: q, labels: derive(n.labels, o.labels)}
+}
+
+// Format renders the number as a labelled string with the given precision
+// (-1 for minimal digits).
+func (n Number) Format(prec int) String {
+	return String{s: strconv.FormatFloat(n.f, 'f', prec, 64), labels: n.labels}
+}
+
+// ParseNumber converts a labelled string to a labelled number.
+func ParseNumber(s String) (Number, error) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(s.s), 64)
+	if err != nil {
+		return Number{}, fmt.Errorf("taint: parse number: %w", err)
+	}
+	return Number{f: f, labels: s.labels}, nil
+}
+
+// String implements fmt.Stringer, hiding the value when labelled (see
+// String.String).
+func (n Number) String() string {
+	if n.labels.IsEmpty() {
+		return strconv.FormatFloat(n.f, 'g', -1, 64)
+	}
+	return fmt.Sprintf("taint.Number[%s]", n.labels)
+}
+
+// Value is a labelled arbitrary value, used for structured data whose
+// parts share one label set.
+type Value struct {
+	v      any
+	labels label.Set
+}
+
+// NewValue wraps v with labels.
+func NewValue(v any, labels label.Set) Value { return Value{v: v, labels: labels} }
+
+// Any returns the wrapped value without label checks.
+func (v Value) Any() any { return v.v }
+
+// Labels returns the value's label set.
+func (v Value) Labels() label.Set { return v.labels }

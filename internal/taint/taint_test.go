@@ -1,0 +1,256 @@
+package taint
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"safeweb/internal/label"
+)
+
+var (
+	mdt7  = label.Conf("ecric.org.uk/mdt/7")
+	mdt8  = label.Conf("ecric.org.uk/mdt/8")
+	integ = label.Int("ecric.org.uk/mdt")
+)
+
+func TestConcatComposesLabels(t *testing.T) {
+	a := NewString("patient: ", mdt7)
+	b := NewString("John Smith", mdt8)
+	c := a.Concat(b)
+	if c.Raw() != "patient: John Smith" {
+		t.Errorf("Raw = %q", c.Raw())
+	}
+	if !c.Labels().Contains(mdt7) || !c.Labels().Contains(mdt8) {
+		t.Errorf("Labels = %v", c.Labels())
+	}
+}
+
+func TestConcatIntegrityFragile(t *testing.T) {
+	a := WrapString("a", label.NewSet(mdt7, integ))
+	b := WrapString("b", label.NewSet(integ))
+	c := WrapString("c", nil)
+
+	ab := a.Concat(b)
+	if !ab.Labels().Contains(integ) {
+		t.Error("common integrity label lost")
+	}
+	abc := a.Concat(b, c)
+	if abc.Labels().Contains(integ) {
+		t.Error("integrity label survived mix with unlabelled data")
+	}
+	if !abc.Labels().Contains(mdt7) {
+		t.Error("confidentiality label lost")
+	}
+}
+
+func TestAppendDropsIntegrity(t *testing.T) {
+	s := WrapString("x", label.NewSet(mdt7, integ)).Append("!")
+	if s.Raw() != "x!" {
+		t.Errorf("Raw = %q", s.Raw())
+	}
+	if !s.Labels().Contains(mdt7) || s.Labels().Contains(integ) {
+		t.Errorf("Labels = %v", s.Labels())
+	}
+}
+
+func TestTransformsKeepLabels(t *testing.T) {
+	s := NewString("  MiXeD  ", mdt7)
+	for name, got := range map[string]String{
+		"upper": s.ToUpper(),
+		"lower": s.ToLower(),
+		"trim":  s.TrimSpace(),
+	} {
+		if !got.Labels().Contains(mdt7) {
+			t.Errorf("%s lost label", name)
+		}
+	}
+	if s.ToUpper().Raw() != "  MIXED  " || s.TrimSpace().Raw() != "MiXeD" {
+		t.Error("transform contents wrong")
+	}
+}
+
+func TestSplitPartsInheritLabels(t *testing.T) {
+	parts := NewString("1,2,3", mdt7).Split(",")
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	for _, p := range parts {
+		if !p.Labels().Contains(mdt7) {
+			t.Errorf("part %q lost label", p.Raw())
+		}
+	}
+}
+
+func TestReplaceComposesLabels(t *testing.T) {
+	s := NewString("hello NAME", mdt7).Replace("NAME", NewString("Smith", mdt8), 1)
+	if s.Raw() != "hello Smith" {
+		t.Errorf("Raw = %q", s.Raw())
+	}
+	if !s.Labels().Contains(mdt7) || !s.Labels().Contains(mdt8) {
+		t.Errorf("Labels = %v", s.Labels())
+	}
+}
+
+func TestJoin(t *testing.T) {
+	joined := Join([]String{NewString("a", mdt7), NewString("b", mdt8)}, ", ")
+	if joined.Raw() != "a, b" {
+		t.Errorf("Raw = %q", joined.Raw())
+	}
+	if !joined.Labels().Contains(mdt7) || !joined.Labels().Contains(mdt8) {
+		t.Errorf("Labels = %v", joined.Labels())
+	}
+	if !Join(nil, ",").IsEmpty() {
+		t.Error("Join(nil) not empty")
+	}
+}
+
+func TestSprintf(t *testing.T) {
+	name := NewString("Smith", mdt7)
+	age := NewNumber(61, mdt8)
+	s := Sprintf("patient %s is %.0f", name, age)
+	if s.Raw() != "patient Smith is 61" {
+		t.Errorf("Raw = %q", s.Raw())
+	}
+	if !s.Labels().Contains(mdt7) || !s.Labels().Contains(mdt8) {
+		t.Errorf("Labels = %v", s.Labels())
+	}
+	// Plain args stay plain.
+	plain := Sprintf("%d-%s", 1, "x")
+	if plain.Raw() != "1-x" || !plain.Labels().IsEmpty() {
+		t.Errorf("plain = %q %v", plain.Raw(), plain.Labels())
+	}
+}
+
+func TestStringerHidesLabelledContent(t *testing.T) {
+	secret := NewString("confidential-record", mdt7)
+	rendered := secret.String()
+	if strings.Contains(rendered, "confidential-record") {
+		t.Errorf("String() leaked content: %q", rendered)
+	}
+	if !strings.Contains(rendered, mdt7.String()) {
+		t.Errorf("String() missing label: %q", rendered)
+	}
+	// Unlabelled strings render normally.
+	if NewString("public").String() != "public" {
+		t.Error("unlabelled String() mangled")
+	}
+
+	n := NewNumber(42, mdt7)
+	if strings.Contains(n.String(), "42") {
+		t.Errorf("Number String() leaked value: %q", n.String())
+	}
+	if NewNumber(42).String() != "42" {
+		t.Errorf("unlabelled Number = %q", NewNumber(42).String())
+	}
+}
+
+func TestNumberArithmetic(t *testing.T) {
+	a := NewNumber(10, mdt7)
+	b := NewNumber(4, mdt8)
+
+	cases := []struct {
+		name string
+		got  Number
+		want float64
+	}{
+		{"add", a.Add(b), 14},
+		{"sub", a.Sub(b), 6},
+		{"mul", a.Mul(b), 40},
+		{"div", a.Div(b), 2.5},
+		{"div0", a.Div(NewNumber(0)), 0},
+	}
+	for _, tc := range cases {
+		if tc.got.Float() != tc.want {
+			t.Errorf("%s = %v, want %v", tc.name, tc.got.Float(), tc.want)
+		}
+		if !tc.got.Labels().Contains(mdt7) {
+			t.Errorf("%s lost receiver label", tc.name)
+		}
+	}
+	if !a.Add(b).Labels().Contains(mdt8) {
+		t.Error("add lost operand label")
+	}
+	if a.Int() != 10 {
+		t.Errorf("Int = %d", a.Int())
+	}
+}
+
+func TestNumberFormatAndParse(t *testing.T) {
+	n := NewNumber(3.14159, mdt7)
+	s := n.Format(2)
+	if s.Raw() != "3.14" || !s.Labels().Contains(mdt7) {
+		t.Errorf("Format = %q %v", s.Raw(), s.Labels())
+	}
+	back, err := ParseNumber(NewString(" 61 ", mdt8))
+	if err != nil {
+		t.Fatalf("ParseNumber: %v", err)
+	}
+	if back.Float() != 61 || !back.Labels().Contains(mdt8) {
+		t.Errorf("ParseNumber = %v %v", back.Float(), back.Labels())
+	}
+	if _, err := ParseNumber(NewString("not a number")); err == nil {
+		t.Error("ParseNumber accepted garbage")
+	}
+}
+
+func TestRegexpSubmatchesLabelled(t *testing.T) {
+	re := regexp.MustCompile(`(?P<code>C\d+)\.(\d)`)
+	subject := NewString("diagnosis C50.9 confirmed", mdt7)
+
+	m, ok := MatchRegexp(re, subject)
+	if !ok {
+		t.Fatal("no match")
+	}
+	if m.NumGroups() != 3 {
+		t.Fatalf("NumGroups = %d", m.NumGroups())
+	}
+	if m.Group(0).Raw() != "C50.9" || m.Group(1).Raw() != "C50" || m.Group(2).Raw() != "9" {
+		t.Errorf("groups = %q %q %q", m.Group(0).Raw(), m.Group(1).Raw(), m.Group(2).Raw())
+	}
+	for i := 0; i < 3; i++ {
+		if !m.Group(i).Labels().Contains(mdt7) {
+			t.Errorf("group %d lost label", i)
+		}
+	}
+	if m.Named("code").Raw() != "C50" {
+		t.Errorf("Named(code) = %q", m.Named("code").Raw())
+	}
+	if !m.Group(99).IsEmpty() || !m.Named("missing").IsEmpty() {
+		t.Error("out-of-range groups not empty")
+	}
+
+	if _, ok := MatchRegexp(re, NewString("no codes here")); ok {
+		t.Error("matched non-matching subject")
+	}
+}
+
+func TestReplaceAllRegexp(t *testing.T) {
+	re := regexp.MustCompile(`\d+`)
+	s := ReplaceAllRegexp(re, NewString("id 123", mdt7), NewString("XXX", mdt8))
+	if s.Raw() != "id XXX" {
+		t.Errorf("Raw = %q", s.Raw())
+	}
+	if !s.Labels().Contains(mdt7) || !s.Labels().Contains(mdt8) {
+		t.Errorf("Labels = %v", s.Labels())
+	}
+	if !MatchString(regexp.MustCompile("id"), s) {
+		t.Error("MatchString false negative")
+	}
+}
+
+func TestWithLabels(t *testing.T) {
+	s := NewString("x").WithLabels(mdt7)
+	if !s.Labels().Contains(mdt7) {
+		t.Error("WithLabels did not add")
+	}
+}
+
+func TestEqualFold(t *testing.T) {
+	if !NewString("mdt1").EqualFold(NewString("MDT1")) {
+		t.Error("EqualFold false negative")
+	}
+	if NewString("mdt1").Equal(NewString("MDT1")) {
+		t.Error("Equal is case-insensitive")
+	}
+}

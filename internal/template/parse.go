@@ -1,0 +1,169 @@
+package template
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse compiles template source. name is used in error messages.
+func Parse(name, src string) (*Template, error) {
+	p := &tmplParser{name: name, src: src}
+	root, err := p.parseNodes("")
+	if err != nil {
+		return nil, err
+	}
+	return &Template{name: name, root: root}, nil
+}
+
+// MustParse is Parse for trusted, constant templates.
+func MustParse(name, src string) *Template {
+	t, err := Parse(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// tmplParser scans "<% ... %>" tags out of the source text.
+type tmplParser struct {
+	name string
+	src  string
+	pos  int
+}
+
+func (p *tmplParser) errorf(format string, args ...any) error {
+	return &ParseError{Name: p.name, Msg: fmt.Sprintf(format, args...)}
+}
+
+// nextTag returns the literal text before the next tag and the tag's
+// contents. done is true when the source is exhausted (text holds the
+// trailing literal).
+func (p *tmplParser) nextTag() (text, tag string, done bool, err error) {
+	start := strings.Index(p.src[p.pos:], "<%")
+	if start < 0 {
+		text = p.src[p.pos:]
+		p.pos = len(p.src)
+		return text, "", true, nil
+	}
+	start += p.pos
+	end := strings.Index(p.src[start:], "%>")
+	if end < 0 {
+		return "", "", false, p.errorf("unterminated tag at offset %d", start)
+	}
+	end += start
+	text = p.src[p.pos:start]
+	tag = p.src[start+2 : end]
+	p.pos = end + 2
+	return text, tag, false, nil
+}
+
+// parseNodes parses until an "end"/"else" terminator (or EOF when
+// terminator is ""). It leaves the terminator tag consumed and reports
+// which one ended the block.
+func (p *tmplParser) parseNodes(context string) ([]node, error) {
+	nodes, term, err := p.parseBlock(context)
+	if err != nil {
+		return nil, err
+	}
+	if term == "else" {
+		return nil, p.errorf("unexpected else outside if")
+	}
+	return nodes, nil
+}
+
+// parseBlock parses nodes until end/else/EOF and returns the terminator
+// ("end", "else" or "" for EOF).
+func (p *tmplParser) parseBlock(context string) ([]node, string, error) {
+	var nodes []node
+	for {
+		text, tag, done, err := p.nextTag()
+		if err != nil {
+			return nil, "", err
+		}
+		if text != "" {
+			nodes = append(nodes, textNode{text: text})
+		}
+		if done {
+			if context != "" {
+				return nil, "", p.errorf("missing end for %s", context)
+			}
+			return nodes, "", nil
+		}
+
+		trimmed := strings.TrimSpace(tag)
+		switch {
+		case strings.HasPrefix(tag, "=="):
+			e, err := parseExpr(tag[2:])
+			if err != nil {
+				return nil, "", p.errorf("bad expression %q: %v", tag[2:], err)
+			}
+			nodes = append(nodes, exprNode{expr: e, escape: false})
+
+		case strings.HasPrefix(tag, "="):
+			e, err := parseExpr(tag[1:])
+			if err != nil {
+				return nil, "", p.errorf("bad expression %q: %v", tag[1:], err)
+			}
+			nodes = append(nodes, exprNode{expr: e, escape: true})
+
+		case trimmed == "end":
+			if context == "" {
+				return nil, "", p.errorf("unexpected end")
+			}
+			return nodes, "end", nil
+
+		case trimmed == "else":
+			if context != "if" {
+				return nil, "", p.errorf("unexpected else")
+			}
+			return nodes, "else", nil
+
+		case strings.HasPrefix(trimmed, "if "):
+			cond, err := parseExpr(strings.TrimPrefix(trimmed, "if "))
+			if err != nil {
+				return nil, "", p.errorf("bad if condition: %v", err)
+			}
+			then, term, err := p.parseBlock("if")
+			if err != nil {
+				return nil, "", err
+			}
+			var alt []node
+			if term == "else" {
+				alt, term, err = p.parseBlock("if")
+				if err != nil {
+					return nil, "", err
+				}
+				if term != "end" {
+					return nil, "", p.errorf("missing end after else")
+				}
+			}
+			nodes = append(nodes, ifNode{cond: cond, then: then, alt: alt})
+
+		case strings.HasPrefix(trimmed, "for "):
+			spec := strings.TrimPrefix(trimmed, "for ")
+			varName, listSrc, ok := strings.Cut(spec, " in ")
+			if !ok {
+				return nil, "", p.errorf("malformed for %q, want \"for x in list\"", spec)
+			}
+			varName = strings.TrimSpace(varName)
+			if varName == "" || strings.ContainsAny(varName, " .\"") {
+				return nil, "", p.errorf("bad loop variable %q", varName)
+			}
+			list, err := parseExpr(listSrc)
+			if err != nil {
+				return nil, "", p.errorf("bad for list: %v", err)
+			}
+			body, term, err := p.parseBlock("for")
+			if err != nil {
+				return nil, "", err
+			}
+			if term != "end" {
+				return nil, "", p.errorf("missing end for for")
+			}
+			nodes = append(nodes, forNode{varName: varName, list: list, body: body})
+
+		default:
+			return nil, "", p.errorf("unknown tag <%%%s%%>", tag)
+		}
+	}
+}

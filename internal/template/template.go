@@ -1,0 +1,414 @@
+// Package template implements a small ERB-style template engine whose
+// rendering propagates security labels: the rendered page is a
+// taint.String carrying the labels of every value interpolated into it.
+//
+// The paper's MDT portal uses "ERB for embedding Ruby in web pages"
+// (§5.1); with the Ruby taint-tracking library, labels flow through ERB
+// because ERB builds its output by ordinary string concatenation. Our
+// frontend gets the same effect by routing interpolation through
+// taint.String composition.
+//
+// Syntax:
+//
+//	<%= expr %>    interpolate, HTML-escaped
+//	<%== expr %>   interpolate raw (trusted markup only)
+//	<% if expr %> ... <% else %> ... <% end %>
+//	<% for x in expr %> ... <% end %>
+//
+// Expressions are dotted paths into the render context ("patient.name",
+// "metrics.completeness"), loop variables, string literals in double
+// quotes, or equality/inequality comparisons of two of those.
+package template
+
+import (
+	"errors"
+	"fmt"
+	"html"
+	"strings"
+
+	"safeweb/internal/label"
+	"safeweb/internal/taint"
+)
+
+// Template is a parsed template, safe for concurrent rendering.
+type Template struct {
+	name string
+	root []node
+}
+
+// Context supplies values during rendering. Values may be taint.String,
+// taint.Number, taint.Doc, []taint.Doc, []any, bool, plain strings and
+// numbers, or nested map[string]any.
+type Context map[string]any
+
+// ParseError reports a template syntax error.
+type ParseError struct {
+	// Name is the template name.
+	Name string
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("template %s: %s", e.Name, e.Msg)
+}
+
+// node is a parsed template element.
+type node interface {
+	render(out *builder, scope *scope) error
+}
+
+// builder accumulates output text and labels.
+type builder struct {
+	text   strings.Builder
+	labels []label.Set
+}
+
+func (b *builder) writeRaw(s string) { b.text.WriteString(s) }
+
+func (b *builder) writeValue(s taint.String, escape bool) {
+	raw := s.Raw()
+	if escape {
+		raw = html.EscapeString(raw)
+	}
+	b.text.WriteString(raw)
+	if !s.Labels().IsEmpty() {
+		b.labels = append(b.labels, s.Labels())
+	}
+}
+
+// scope is the variable environment during rendering: the base context
+// plus loop variables.
+type scope struct {
+	ctx  Context
+	vars map[string]any
+}
+
+func (s *scope) lookup(name string) (any, bool) {
+	if v, ok := s.vars[name]; ok {
+		return v, true
+	}
+	v, ok := s.ctx[name]
+	return v, ok
+}
+
+func (s *scope) child(name string, value any) *scope {
+	vars := make(map[string]any, len(s.vars)+1)
+	for k, v := range s.vars {
+		vars[k] = v
+	}
+	vars[name] = value
+	return &scope{ctx: s.ctx, vars: vars}
+}
+
+// textNode is literal template text.
+type textNode struct{ text string }
+
+func (n textNode) render(out *builder, _ *scope) error {
+	out.writeRaw(n.text)
+	return nil
+}
+
+// exprNode interpolates an expression.
+type exprNode struct {
+	expr   expr
+	escape bool
+}
+
+func (n exprNode) render(out *builder, sc *scope) error {
+	v, err := n.expr.eval(sc)
+	if err != nil {
+		return err
+	}
+	out.writeValue(toTaintString(v), n.escape)
+	return nil
+}
+
+// ifNode renders one of two branches.
+type ifNode struct {
+	cond      expr
+	then, alt []node
+}
+
+func (n ifNode) render(out *builder, sc *scope) error {
+	v, err := n.cond.eval(sc)
+	if err != nil {
+		return err
+	}
+	branch := n.alt
+	if truthy(v) {
+		branch = n.then
+	}
+	for _, child := range branch {
+		if err := child.render(out, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forNode iterates a list.
+type forNode struct {
+	varName string
+	list    expr
+	body    []node
+}
+
+func (n forNode) render(out *builder, sc *scope) error {
+	v, err := n.list.eval(sc)
+	if err != nil {
+		return err
+	}
+	items, err := toList(v)
+	if err != nil {
+		return fmt.Errorf("template: for %s: %w", n.varName, err)
+	}
+	for _, item := range items {
+		childScope := sc.child(n.varName, item)
+		for _, child := range n.body {
+			if err := child.render(out, childScope); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Render evaluates the template against the context, producing a labelled
+// string that carries the labels of everything interpolated.
+func (t *Template) Render(ctx Context) (taint.String, error) {
+	out := &builder{}
+	sc := &scope{ctx: ctx}
+	for _, n := range t.root {
+		if err := n.render(out, sc); err != nil {
+			return taint.String{}, err
+		}
+	}
+	// Literal template text is unlabelled; only interpolated labels count.
+	// Using union (not Derive) keeps integrity labels that every
+	// interpolation shares out of scope: pages mix trusted markup with
+	// data, so the page itself makes no integrity claim.
+	var all label.Set
+	for _, set := range out.labels {
+		all = all.Union(set)
+	}
+	return taint.WrapString(out.text.String(), all), nil
+}
+
+// Name returns the template's name.
+func (t *Template) Name() string { return t.name }
+
+// toTaintString renders any supported context value as a labelled string.
+func toTaintString(v any) taint.String {
+	switch t := v.(type) {
+	case taint.String:
+		return t
+	case taint.Number:
+		return t.Format(-1)
+	case taint.Doc:
+		s, err := t.ToJSON()
+		if err != nil {
+			return taint.NewString("{}")
+		}
+		return s
+	case string:
+		return taint.NewString(t)
+	case int:
+		return taint.NewString(fmt.Sprint(t))
+	case float64:
+		return taint.NewString(strings.TrimSuffix(fmt.Sprintf("%v", t), ".0"))
+	case bool:
+		return taint.NewString(fmt.Sprint(t))
+	case nil:
+		return taint.String{}
+	default:
+		return taint.NewString(fmt.Sprint(t))
+	}
+}
+
+// truthy decides <% if %> conditions: non-empty strings and lists,
+// non-zero numbers and true are truthy.
+func truthy(v any) bool {
+	switch t := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return t
+	case string:
+		return t != ""
+	case int:
+		return t != 0
+	case float64:
+		return t != 0
+	case taint.String:
+		return !t.IsEmpty()
+	case taint.Number:
+		return t.Float() != 0
+	case []any:
+		return len(t) > 0
+	case []taint.Doc:
+		return len(t) > 0
+	case taint.Doc:
+		return len(t) > 0
+	default:
+		return true
+	}
+}
+
+// toList coerces a value into a slice for <% for %>.
+func toList(v any) ([]any, error) {
+	switch t := v.(type) {
+	case []any:
+		return t, nil
+	case []taint.Doc:
+		out := make([]any, len(t))
+		for i, d := range t {
+			out[i] = d
+		}
+		return out, nil
+	case []taint.String:
+		out := make([]any, len(t))
+		for i, s := range t {
+			out[i] = s
+		}
+		return out, nil
+	case nil:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("value of type %T is not iterable", v)
+	}
+}
+
+// ---- expressions ----
+
+// expr is a template expression.
+type expr interface {
+	eval(sc *scope) (any, error)
+}
+
+// pathExpr resolves a dotted path: the head in the scope, then fields
+// through docs/maps.
+type pathExpr struct{ parts []string }
+
+func (e pathExpr) eval(sc *scope) (any, error) {
+	v, ok := sc.lookup(e.parts[0])
+	if !ok {
+		return nil, fmt.Errorf("template: unknown variable %q", e.parts[0])
+	}
+	for _, part := range e.parts[1:] {
+		switch t := v.(type) {
+		case taint.Doc:
+			v = t[part]
+		case map[string]any:
+			v = t[part]
+		case Context:
+			v = t[part]
+		case nil:
+			return nil, nil
+		default:
+			return nil, fmt.Errorf("template: cannot access %q of %T", part, v)
+		}
+	}
+	return v, nil
+}
+
+// litExpr is a double-quoted string literal.
+type litExpr struct{ s string }
+
+func (e litExpr) eval(*scope) (any, error) { return e.s, nil }
+
+// cmpExpr compares two operands for equality by rendered content.
+type cmpExpr struct {
+	l, r expr
+	neq  bool
+}
+
+func (e cmpExpr) eval(sc *scope) (any, error) {
+	lv, err := e.l.eval(sc)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := e.r.eval(sc)
+	if err != nil {
+		return nil, err
+	}
+	eq := toTaintString(lv).Raw() == toTaintString(rv).Raw()
+	if e.neq {
+		eq = !eq
+	}
+	return eq, nil
+}
+
+// notExpr negates truthiness.
+type notExpr struct{ inner expr }
+
+func (e notExpr) eval(sc *scope) (any, error) {
+	v, err := e.inner.eval(sc)
+	if err != nil {
+		return nil, err
+	}
+	return !truthy(v), nil
+}
+
+var errEmptyExpr = errors.New("empty expression")
+
+// parseExpr parses "a.b", "\"lit\"", "not e", "e == e", "e != e".
+func parseExpr(src string) (expr, error) {
+	src = strings.TrimSpace(src)
+	if src == "" {
+		return nil, errEmptyExpr
+	}
+	if rest, ok := strings.CutPrefix(src, "not "); ok {
+		inner, err := parseExpr(rest)
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{inner: inner}, nil
+	}
+	for _, op := range []struct {
+		tok string
+		neq bool
+	}{{"==", false}, {"!=", true}} {
+		if l, r, ok := cutOutsideQuotes(src, op.tok); ok {
+			le, err := parseExpr(l)
+			if err != nil {
+				return nil, err
+			}
+			re, err := parseExpr(r)
+			if err != nil {
+				return nil, err
+			}
+			return cmpExpr{l: le, r: re, neq: op.neq}, nil
+		}
+	}
+	if strings.HasPrefix(src, `"`) {
+		if !strings.HasSuffix(src, `"`) || len(src) < 2 {
+			return nil, fmt.Errorf("unterminated string literal %s", src)
+		}
+		return litExpr{s: src[1 : len(src)-1]}, nil
+	}
+	parts := strings.Split(src, ".")
+	for _, p := range parts {
+		if p == "" || strings.ContainsAny(p, " \t\"=!<>") {
+			return nil, fmt.Errorf("malformed path %q", src)
+		}
+	}
+	return pathExpr{parts: parts}, nil
+}
+
+// cutOutsideQuotes splits src on the first occurrence of sep that is not
+// inside a double-quoted literal.
+func cutOutsideQuotes(src, sep string) (string, string, bool) {
+	inQuote := false
+	for i := 0; i+len(sep) <= len(src); i++ {
+		if src[i] == '"' {
+			inQuote = !inQuote
+			continue
+		}
+		if !inQuote && src[i:i+len(sep)] == sep {
+			return src[:i], src[i+len(sep):], true
+		}
+	}
+	return "", "", false
+}

@@ -1,0 +1,332 @@
+// Package vulninject reproduces the paper's security evaluation (§5.2):
+// it injects the four CVE-derived vulnerability classes into the MDT
+// application and verifies that SafeWeb prevents the resulting disclosure
+// while the unprotected baseline leaks.
+//
+// Each experiment runs the full deployment twice — once with taint
+// tracking enabled and once with it disabled — and reports whether the
+// bug discloses data without SafeWeb (it must: otherwise the injection is
+// vacuous) and whether SafeWeb blocks it.
+package vulninject
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"safeweb/internal/label"
+	"safeweb/internal/maindb"
+	"safeweb/internal/mdt"
+	"safeweb/internal/webdb"
+)
+
+// Outcome is the result of one vulnerability experiment.
+type Outcome struct {
+	// Name is the §5.2 category name.
+	Name string
+	// CVEs lists the CVE reports the paper cites for the category.
+	CVEs string
+	// BaselineDisclosed reports whether the bug leaked confidential data
+	// with taint tracking disabled (the vulnerability is real).
+	BaselineDisclosed bool
+	// SafeWebPrevented reports whether SafeWeb blocked the disclosure
+	// with taint tracking enabled.
+	SafeWebPrevented bool
+	// Detail describes what happened.
+	Detail string
+}
+
+// Passed reports whether the experiment reproduced the paper's result:
+// a real vulnerability that SafeWeb prevents.
+func (o Outcome) Passed() bool { return o.BaselineDisclosed && o.SafeWebPrevented }
+
+// registry returns the fixed registry configuration used by all
+// experiments.
+func registry() maindb.Config {
+	return maindb.Config{Seed: 101, Patients: 60, Hospitals: 2, Regions: 2}
+}
+
+// RunAll executes the four §5.2 experiments. logf may be nil.
+func RunAll(logf func(format string, args ...any)) ([]Outcome, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	experiments := []struct {
+		name string
+		cves string
+		run  func(logf func(string, ...any)) (Outcome, error)
+	}{
+		{"Omitted Access Checks", "CVE-2011-0701, CVE-2010-2353, CVE-2010-0752", runOmittedCheck},
+		{"Errors in Access Checks", "CVE-2011-0449, CVE-2010-3092, CVE-2010-4403", runCaseFoldLookup},
+		{"Inappropriate Access Checks", "CVE-2010-4775, CVE-2009-2431", runIgnoreClinic},
+		{"Design Errors", "CVE-2011-0899, CVE-2010-3933", runMixHospitals},
+	}
+	out := make([]Outcome, 0, len(experiments))
+	for _, exp := range experiments {
+		logf("vulninject: running %q", exp.name)
+		o, err := exp.run(logf)
+		if err != nil {
+			return nil, fmt.Errorf("vulninject: %s: %w", exp.name, err)
+		}
+		o.Name = exp.name
+		o.CVEs = exp.cves
+		logf("vulninject: %q: baseline disclosed=%v, safeweb prevented=%v (%s)",
+			exp.name, o.BaselineDisclosed, o.SafeWebPrevented, o.Detail)
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// deploy builds an imported deployment with the given faults and tracking
+// mode.
+func deploy(faults mdt.Faults, disableTracking bool) (*mdt.Deployment, error) {
+	d, err := mdt.Deploy(mdt.DeployConfig{
+		Registry:        registry(),
+		Faults:          faults,
+		DisableTracking: disableTracking,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := d.ImportAll(); err != nil {
+		d.Stop()
+		return nil, err
+	}
+	return d, nil
+}
+
+// request performs an authenticated GET and classifies the response.
+func request(d *mdt.Deployment, path, user, pass string) (status int, body string, err error) {
+	addr, err := d.ServeHTTP("127.0.0.1:0")
+	if err != nil {
+		return 0, "", err
+	}
+	req, err := http.NewRequest(http.MethodGet, "http://"+addr+path, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	req.SetBasicAuth(user, pass)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, string(raw), nil
+}
+
+// disclosesRecords reports whether a response body contains case-record
+// data (patient ids).
+func disclosesRecords(body string) bool {
+	return strings.Contains(body, "patient_id")
+}
+
+// twoMDTsWithRecords picks two distinct MDTs that both have case records,
+// preferring a same-hospital pair when sameHospital is set.
+func twoMDTsWithRecords(d *mdt.Deployment, sameHospital bool) (a, b maindb.MDT, err error) {
+	var withRecords []maindb.MDT
+	for _, m := range d.Registry.MDTs() {
+		docs, qerr := d.DMZDB.Query(mdt.ViewRecordsByMDT, m.ID)
+		if qerr != nil {
+			return a, b, qerr
+		}
+		if len(docs) > 0 {
+			withRecords = append(withRecords, m)
+		}
+	}
+	for i, m1 := range withRecords {
+		for _, m2 := range withRecords[i+1:] {
+			if sameHospital && m1.Hospital != m2.Hospital {
+				continue
+			}
+			if !sameHospital || m1.Hospital == m2.Hospital {
+				return m1, m2, nil
+			}
+		}
+	}
+	return a, b, fmt.Errorf("no suitable MDT pair (sameHospital=%v)", sameHospital)
+}
+
+// runOmittedCheck reproduces §5.2 "Omitted Access Checks": the MDT
+// privilege check is removed from the record route (Listing 2 line 5),
+// and an MDT requests another MDT's records.
+func runOmittedCheck(logf func(string, ...any)) (Outcome, error) {
+	faults := mdt.Faults{OmitAccessCheck: true}
+	var o Outcome
+
+	for _, tracking := range []bool{false, true} {
+		d, err := deploy(faults, !tracking)
+		if err != nil {
+			return o, err
+		}
+		attacker, victim, err := twoMDTsWithRecords(d, false)
+		if err != nil {
+			d.Stop()
+			return o, err
+		}
+		status, body, err := request(d, "/records/"+victim.ID, attacker.ID, d.Creds[attacker.ID])
+		d.Stop()
+		if err != nil {
+			return o, err
+		}
+		if tracking {
+			o.SafeWebPrevented = status == http.StatusForbidden && !disclosesRecords(body)
+		} else {
+			o.BaselineDisclosed = status == http.StatusOK && disclosesRecords(body)
+		}
+	}
+	o.Detail = "cross-MDT record listing with the privilege check removed"
+	return o, nil
+}
+
+// runCaseFoldLookup reproduces §5.2 "Errors in Access Checks": the user
+// lookup ignores username case, so accounts mdt1 and MDT1 share
+// privileges. The paper creates exactly those two accounts.
+func runCaseFoldLookup(logf func(string, ...any)) (Outcome, error) {
+	faults := mdt.Faults{CaseFoldUserLookup: true}
+	var o Outcome
+
+	for _, tracking := range []bool{false, true} {
+		d, err := deploy(faults, !tracking)
+		if err != nil {
+			return o, err
+		}
+		mdtA, mdtB, err := twoMDTsWithRecords(d, false)
+		if err != nil {
+			d.Stop()
+			return o, err
+		}
+		// Two users whose names differ only by case, with different
+		// privileges (paper: "usernames mdt1 and MDT1 but with different
+		// privileges"). "MDT1" belongs to mdtB; "mdt1" belongs to mdtA.
+		const pass = "pw"
+		uppercase, err := d.WebDB.CreateUser("MDT1", pass, webdb.WithMDT(mdtB.ID, mdtB.Region))
+		if err != nil {
+			d.Stop()
+			return o, err
+		}
+		d.WebDB.GrantLabel(uppercase.ID, label.Clearance, label.Exact(mdt.MDTLabel(mdtB.ID)))
+		d.WebDB.AddPrivilegeRow(webdb.PrivilegeRow{UID: uppercase.ID, Hospital: mdtB.Hospital, Clinic: mdtB.Clinic})
+
+		lowercase, err := d.WebDB.CreateUser("mdt1", pass, webdb.WithMDT(mdtA.ID, mdtA.Region))
+		if err != nil {
+			d.Stop()
+			return o, err
+		}
+		d.WebDB.GrantLabel(lowercase.ID, label.Clearance, label.Exact(mdt.MDTLabel(mdtA.ID)))
+		d.WebDB.AddPrivilegeRow(webdb.PrivilegeRow{UID: lowercase.ID, Hospital: mdtA.Hospital, Clinic: mdtA.Clinic})
+
+		// mdt1 (cleared only for mdtA) requests mdtB's records. The buggy
+		// folded lookup resolves mdt1 -> MDT1's row, so the app check
+		// passes.
+		status, body, err := request(d, "/records/"+mdtB.ID, "mdt1", pass)
+		d.Stop()
+		if err != nil {
+			return o, err
+		}
+		if tracking {
+			o.SafeWebPrevented = status == http.StatusForbidden && !disclosesRecords(body)
+		} else {
+			o.BaselineDisclosed = status == http.StatusOK && disclosesRecords(body)
+		}
+	}
+	o.Detail = "mdt1/MDT1 privilege confusion via case-insensitive user lookup"
+	return o, nil
+}
+
+// runIgnoreClinic reproduces §5.2 "Inappropriate Access Checks": the
+// clinic-equality condition is removed from check_privileges (Listing 3
+// line 7), "effectively enabling any MDT to see the data of all the
+// patients in the same hospital."
+func runIgnoreClinic(logf func(string, ...any)) (Outcome, error) {
+	faults := mdt.Faults{IgnoreClinicInCheck: true}
+	var o Outcome
+
+	for _, tracking := range []bool{false, true} {
+		d, err := deploy(faults, !tracking)
+		if err != nil {
+			return o, err
+		}
+		attacker, victim, err := twoMDTsWithRecords(d, true) // same hospital
+		if err != nil {
+			d.Stop()
+			return o, err
+		}
+		status, body, err := request(d, "/records/"+victim.ID, attacker.ID, d.Creds[attacker.ID])
+		d.Stop()
+		if err != nil {
+			return o, err
+		}
+		if tracking {
+			o.SafeWebPrevented = status == http.StatusForbidden && !disclosesRecords(body)
+		} else {
+			o.BaselineDisclosed = status == http.StatusOK && disclosesRecords(body)
+		}
+	}
+	o.Detail = "same-hospital cross-clinic access with the clinic condition dropped"
+	return o, nil
+}
+
+// runMixHospitals reproduces §5.2 "Design Errors": the aggregator ignores
+// the origin MDT when matching events, generating records that mix data of
+// different MDTs. SafeWeb labels such records with all involved MDTs, so
+// no single MDT can display them.
+func runMixHospitals(logf func(string, ...any)) (Outcome, error) {
+	faults := mdt.Faults{MixHospitals: true}
+	var o Outcome
+
+	for _, tracking := range []bool{false, true} {
+		d, err := deploy(faults, !tracking)
+		if err != nil {
+			return o, err
+		}
+		// Find a record that actually mixed several patients' reports.
+		mixed := findMixedRecord(d)
+		if mixed == "" {
+			d.Stop()
+			return o, fmt.Errorf("aggregator produced no mixed records")
+		}
+		user, _ := d.Registry.MDTByID(mixed)
+		status, body, err := request(d, "/records/"+mixed, user.ID, d.Creds[user.ID])
+		d.Stop()
+		if err != nil {
+			return o, err
+		}
+		if tracking {
+			// The mixed records carry multiple MDT labels; even the
+			// owning MDT cannot display them.
+			o.SafeWebPrevented = status == http.StatusForbidden && !disclosesRecords(body)
+		} else {
+			o.BaselineDisclosed = status == http.StatusOK && disclosesRecords(body)
+		}
+	}
+	o.Detail = "aggregator mixed records across MDTs; labels of all owners block display"
+	return o, nil
+}
+
+// findMixedRecord returns the id of an MDT whose record listing includes
+// a record carrying labels of more than one MDT (tracking mode) or whose
+// stored reports mix patients (baseline mode).
+func findMixedRecord(d *mdt.Deployment) string {
+	for _, m := range d.Registry.MDTs() {
+		docs, err := d.DMZDB.Query(mdt.ViewRecordsByMDT, m.ID)
+		if err != nil {
+			continue
+		}
+		for _, doc := range docs {
+			var rec mdt.CaseRecord
+			if err := json.Unmarshal(doc.Data, &rec); err != nil {
+				continue
+			}
+			if rec.Reports > 1 || doc.Labels.Confidentiality().Len() > 1 {
+				return m.ID
+			}
+		}
+	}
+	return ""
+}

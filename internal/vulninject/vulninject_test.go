@@ -1,0 +1,27 @@
+package vulninject
+
+import "testing"
+
+// TestSecurityEvaluation is the §5.2 experiment matrix: each injected
+// vulnerability class must disclose data without SafeWeb and be prevented
+// with it.
+func TestSecurityEvaluation(t *testing.T) {
+	outcomes, err := RunAll(t.Logf)
+	if err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if len(outcomes) != 4 {
+		t.Fatalf("outcomes = %d, want 4", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if !o.BaselineDisclosed {
+			t.Errorf("%s: bug did not disclose without SafeWeb — injection is vacuous", o.Name)
+		}
+		if !o.SafeWebPrevented {
+			t.Errorf("%s: SafeWeb failed to prevent the disclosure", o.Name)
+		}
+		if !o.Passed() {
+			t.Errorf("%s: experiment failed (%s)", o.Name, o.Detail)
+		}
+	}
+}

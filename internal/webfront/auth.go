@@ -1,0 +1,149 @@
+package webfront
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"safeweb/internal/webdb"
+)
+
+// Authentication extensions beyond HTTP basic auth. The paper's frontend
+// "uses HTTP basic authentication and TLS. We plan to add support for
+// authentication using NHS smartcards in the future" (§5.1); this file
+// implements that future work as two additional, optional mechanisms:
+//
+//   - Cookie sessions: POST /session with basic credentials opens a
+//     session in the web database; subsequent requests authenticate with
+//     the cookie alone, avoiding per-request credential hashing.
+//   - Smartcards: pre-provisioned bearer tokens presented in the
+//     X-Safeweb-Smartcard header, modelling NHS smartcard login. Tokens
+//     are stored hashed, so the web database never holds usable secrets.
+//
+// Both resolve to the same webdb user, so privileges and the release
+// check are identical across mechanisms.
+
+// SessionCookie is the session cookie name.
+const SessionCookie = "safeweb_session"
+
+// SmartcardHeader carries the smartcard token.
+const SmartcardHeader = "X-Safeweb-Smartcard"
+
+// ErrNoCredentials is returned by the authenticators when their mechanism
+// is not present on the request (the dispatcher then tries the next one).
+var errNoCredentials = errors.New("webfront: no credentials")
+
+// EnableSessionAuth registers the session login/logout routes and turns on
+// cookie authentication with the given session lifetime.
+//
+//	POST /session   (basic auth)  -> sets the session cookie
+//	POST /logout    (cookie)      -> deletes the session
+func (a *App) EnableSessionAuth(ttl time.Duration) {
+	if ttl <= 0 {
+		ttl = 12 * time.Hour
+	}
+	a.sessionTTL = ttl
+
+	// The login route itself authenticates with basic credentials, so it
+	// is registered as a normal (authenticated) route; its handler only
+	// has to create the session.
+	a.Post("/session", func(c *Ctx) error {
+		sess := a.cfg.WebDB.CreateSession(c.User.ID, a.sessionTTL)
+		c.Header("Set-Cookie", (&http.Cookie{
+			Name:     SessionCookie,
+			Value:    sess.Token,
+			Path:     "/",
+			HttpOnly: true,
+			SameSite: http.SameSiteStrictMode,
+		}).String())
+		c.WriteString("session opened")
+		return nil
+	})
+	a.Post("/logout", func(c *Ctx) error {
+		if cookie, err := c.Request.Cookie(SessionCookie); err == nil {
+			a.cfg.WebDB.DeleteSession(cookie.Value)
+		}
+		c.Header("Set-Cookie", (&http.Cookie{
+			Name:   SessionCookie,
+			Value:  "",
+			Path:   "/",
+			MaxAge: -1,
+		}).String())
+		c.WriteString("logged out")
+		return nil
+	})
+}
+
+// smartcardEntry is one provisioned card: the token hash and the holder.
+type smartcardEntry struct {
+	tokenHash string
+	username  string
+}
+
+// RegisterSmartcard provisions a smartcard token for a user. The token is
+// stored hashed; present it in the X-Safeweb-Smartcard request header.
+func (a *App) RegisterSmartcard(token, username string) {
+	a.cardsMu.Lock()
+	defer a.cardsMu.Unlock()
+	a.cards = append(a.cards, smartcardEntry{
+		tokenHash: hashToken(token),
+		username:  username,
+	})
+}
+
+func hashToken(token string) string {
+	sum := sha256.Sum256([]byte("safeweb-smartcard:" + token))
+	return hex.EncodeToString(sum[:])
+}
+
+// smartcardState is embedded in App.
+type smartcardState struct {
+	cardsMu    sync.Mutex
+	cards      []smartcardEntry
+	sessionTTL time.Duration
+}
+
+// authenticateRequest resolves a user from the request, trying smartcard,
+// then session cookie, then HTTP basic auth. It reports
+// errNoCredentials when no mechanism is present.
+func (a *App) authenticateRequest(r *http.Request) (*webdb.User, error) {
+	// Smartcard.
+	if token := r.Header.Get(SmartcardHeader); token != "" {
+		hash := hashToken(token)
+		a.cardsMu.Lock()
+		username := ""
+		for _, card := range a.cards {
+			if subtle.ConstantTimeCompare([]byte(card.tokenHash), []byte(hash)) == 1 {
+				username = card.username
+				break
+			}
+		}
+		a.cardsMu.Unlock()
+		if username == "" {
+			return nil, errors.New("webfront: unknown smartcard")
+		}
+		return a.cfg.WebDB.FindUser(username)
+	}
+
+	// Session cookie (only when sessions are enabled).
+	if a.sessionTTL > 0 {
+		if cookie, err := r.Cookie(SessionCookie); err == nil {
+			sess, err := a.cfg.WebDB.GetSession(cookie.Value)
+			if err != nil {
+				return nil, err
+			}
+			return a.cfg.WebDB.FindUserByID(sess.UID)
+		}
+	}
+
+	// HTTP basic auth.
+	username, password, ok := r.BasicAuth()
+	if !ok {
+		return nil, errNoCredentials
+	}
+	return a.verifyCredentials(username, password)
+}

@@ -1,0 +1,164 @@
+package webfront
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"safeweb/internal/taint"
+)
+
+// startServer boots an app on a live listener for cookie tests.
+func startServer(t *testing.T, app *App) string {
+	t.Helper()
+	srv := httptest.NewServer(app)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func TestSessionAuthFlow(t *testing.T) {
+	app, _ := newTestApp(t, Config{})
+	app.EnableSessionAuth(time.Hour)
+	app.Get("/whoami", func(c *Ctx) error {
+		c.WriteString(c.User.Username)
+		return nil
+	})
+	base := startServer(t, app)
+
+	// Open a session with basic credentials.
+	req, _ := http.NewRequest(http.MethodPost, base+"/session", nil)
+	req.SetBasicAuth("alice", "pw-a")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("login status = %d", resp.StatusCode)
+	}
+	var cookie *http.Cookie
+	for _, c := range resp.Cookies() {
+		if c.Name == SessionCookie {
+			cookie = c
+		}
+	}
+	if cookie == nil || cookie.Value == "" {
+		t.Fatal("no session cookie set")
+	}
+
+	// Cookie alone authenticates.
+	req, _ = http.NewRequest(http.MethodGet, base+"/whoami", nil)
+	req.AddCookie(cookie)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "alice" {
+		t.Fatalf("cookie auth = %d %q", resp.StatusCode, body)
+	}
+
+	// Logout invalidates the cookie.
+	req, _ = http.NewRequest(http.MethodPost, base+"/logout", nil)
+	req.AddCookie(cookie)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	req, _ = http.NewRequest(http.MethodGet, base+"/whoami", nil)
+	req.AddCookie(cookie)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("after logout = %d", resp.StatusCode)
+	}
+}
+
+func TestSessionExpiry(t *testing.T) {
+	app, db := newTestApp(t, Config{})
+	app.EnableSessionAuth(time.Hour)
+	app.Get("/x", func(c *Ctx) error { c.WriteString("ok"); return nil })
+	base := startServer(t, app)
+
+	alice, err := db.FindUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired := db.CreateSession(alice.ID, -time.Second)
+	req, _ := http.NewRequest(http.MethodGet, base+"/x", nil)
+	req.AddCookie(&http.Cookie{Name: SessionCookie, Value: expired.Token})
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("expired session = %d", resp.StatusCode)
+	}
+}
+
+func TestSmartcardAuth(t *testing.T) {
+	app, _ := newTestApp(t, Config{})
+	app.RegisterSmartcard("nhs-card-123", "alice")
+	app.Get("/whoami", func(c *Ctx) error {
+		c.WriteString(c.User.Username)
+		return nil
+	})
+	app.Get("/secret", func(c *Ctx) error {
+		c.Write(taint.NewString("classified", mdt7))
+		return nil
+	})
+	base := startServer(t, app)
+
+	do := func(path, token string) (int, string) {
+		req, _ := http.NewRequest(http.MethodGet, base+path, nil)
+		if token != "" {
+			req.Header.Set(SmartcardHeader, token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if status, body := do("/whoami", "nhs-card-123"); status != http.StatusOK || body != "alice" {
+		t.Errorf("smartcard auth = %d %q", status, body)
+	}
+	if status, _ := do("/whoami", "wrong-card"); status != http.StatusUnauthorized {
+		t.Errorf("bad card = %d", status)
+	}
+	// The release check applies identically: alice holds mdt7 clearance,
+	// so the secret is served via smartcard too.
+	if status, body := do("/secret", "nhs-card-123"); status != http.StatusOK || !strings.Contains(body, "classified") {
+		t.Errorf("smartcard labelled fetch = %d %q", status, body)
+	}
+}
+
+func TestSmartcardUnknownUser(t *testing.T) {
+	app, _ := newTestApp(t, Config{})
+	app.RegisterSmartcard("card", "ghost")
+	app.Get("/x", func(c *Ctx) error { c.WriteString("ok"); return nil })
+	base := startServer(t, app)
+
+	req, _ := http.NewRequest(http.MethodGet, base+"/x", nil)
+	req.Header.Set(SmartcardHeader, "card")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Errorf("ghost card = %d", resp.StatusCode)
+	}
+}

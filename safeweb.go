@@ -1,0 +1,266 @@
+// Package safeweb is the public facade of SafeWeb-Go, a reproduction of
+// "SafeWeb: A Middleware for Securing Ruby-Based Web Applications"
+// (Hosek et al., Middleware 2011) as a Go library.
+//
+// SafeWeb is a middleware "safety net" for multi-tier web applications
+// that handle confidential data. It combines two mechanisms:
+//
+//   - An event-processing backend that decouples confidential-data
+//     processing from web-request handling. Application units communicate
+//     through an IFC-aware publish/subscribe broker; every event carries
+//     security labels, and the engine tracks labels through unit callbacks
+//     and their stateful stores.
+//
+//   - A web frontend with variable-level taint tracking: data fetched from
+//     the application database is wrapped in labelled values, labels
+//     propagate through string operations, formatting and templates, and
+//     every response is checked against the authenticated user's
+//     privileges before release.
+//
+// Together they guarantee that implementation bugs in application code —
+// omitted or wrong access checks, aggregation mistakes — result in denied
+// requests rather than disclosures.
+//
+// The facade re-exports the user-facing types of the internal packages;
+// see the example programs under examples/ for complete applications, and
+// internal/mdt for the paper's MDT web portal case study.
+package safeweb
+
+import (
+	"safeweb/internal/broker"
+	"safeweb/internal/core"
+	"safeweb/internal/docstore"
+	"safeweb/internal/engine"
+	"safeweb/internal/event"
+	"safeweb/internal/federation"
+	"safeweb/internal/jail"
+	"safeweb/internal/label"
+	"safeweb/internal/labelmgr"
+	"safeweb/internal/selector"
+	"safeweb/internal/taint"
+	"safeweb/internal/template"
+	"safeweb/internal/webdb"
+	"safeweb/internal/webfront"
+)
+
+// ---- labels and privileges ----
+
+// Label is a security label (confidentiality or integrity), a URI such as
+// label:conf:ecric.org.uk/patient/33812769.
+type Label = label.Label
+
+// LabelSet is an immutable-by-convention set of labels.
+type LabelSet = label.Set
+
+// Privileges holds one principal's label privileges.
+type Privileges = label.Privileges
+
+// Policy is the data-flow policy mapping principals to privileges.
+type Policy = label.Policy
+
+// Pattern matches labels in policy grants (exact URI or trailing-*).
+type Pattern = label.Pattern
+
+// Privilege identifies a label operation a principal may perform.
+type Privilege = label.Privilege
+
+// The four privilege kinds.
+const (
+	Clearance  = label.Clearance
+	Declassify = label.Declassify
+	Endorse    = label.Endorse
+	ClearLow   = label.ClearLow
+)
+
+// Label constructors and parsers.
+var (
+	ConfLabel        = label.Conf
+	IntLabel         = label.Int
+	ParseLabel       = label.Parse
+	MustParseLabel   = label.MustParse
+	NewLabelSet      = label.NewSet
+	DeriveLabels     = label.Derive
+	NewPolicy        = label.NewPolicy
+	LoadPolicy       = label.LoadPolicy
+	ReadPolicy       = label.ReadPolicy
+	NewPrivileges    = label.NewPrivileges
+	ParsePattern     = label.ParsePattern
+	MustParsePattern = label.MustParsePattern
+	ExactPattern     = label.Exact
+)
+
+// ---- events and the broker ----
+
+// Event is a labelled message exchanged by processing units.
+type Event = event.Event
+
+// NewEvent creates an event; DeriveEvent composes source labels.
+var (
+	NewEvent    = event.New
+	DeriveEvent = event.Derive
+)
+
+// Broker is the in-process IFC-aware event broker; BrokerServer exposes it
+// over STOMP; Bus is the unit-facing connection interface.
+type (
+	Broker       = broker.Broker
+	BrokerServer = broker.Server
+	Bus          = broker.Bus
+)
+
+// NewBroker creates a broker; NewBrokerServer serves it over STOMP;
+// DialBroker connects a remote Bus.
+var (
+	NewBroker       = broker.New
+	NewBrokerServer = broker.NewServer
+	DialBroker      = broker.DialBus
+)
+
+// Selector compiles SQL-92 subscription selectors.
+type Selector = selector.Selector
+
+// ParseSelector compiles a selector expression.
+var ParseSelector = selector.Parse
+
+// ---- engine and units ----
+
+// Engine hosts event processing units; Unit is the application component
+// interface; UnitContext is the label-tracking callback context.
+type (
+	Engine      = engine.Engine
+	Unit        = engine.Unit
+	FuncUnit    = engine.FuncUnit
+	UnitContext = engine.Context
+	InitContext = engine.InitContext
+	Callback    = engine.Callback
+)
+
+// NewEngine creates an engine. WithAdd/WithRemove/WithRemoveAll adjust
+// labels on publishes, subject to privilege checks.
+var (
+	NewEngine     = engine.New
+	WithAdd       = engine.WithAdd
+	WithRemove    = engine.WithRemove
+	WithRemoveAll = engine.WithRemoveAll
+)
+
+// Jail is the capability jail isolating units from the environment.
+type (
+	Jail      = jail.Jail
+	JailAudit = jail.Audit
+)
+
+// ---- taint tracking ----
+
+// TaintedString, TaintedNumber and TaintedDoc are labelled values whose
+// operations propagate labels (the frontend's variable-level tracking).
+type (
+	TaintedString = taint.String
+	TaintedNumber = taint.Number
+	TaintedDoc    = taint.Doc
+)
+
+// Labelled-value constructors and helpers.
+var (
+	NewTaintedString = taint.NewString
+	WrapString       = taint.WrapString
+	NewTaintedNumber = taint.NewNumber
+	WrapNumber       = taint.WrapNumber
+	TaintSprintf     = taint.Sprintf
+	TaintJoin        = taint.Join
+	WrapJSON         = taint.WrapJSON
+	ToJSONList       = taint.ToJSONList
+)
+
+// Template is the label-propagating ERB-style template engine.
+type (
+	Template        = template.Template
+	TemplateContext = template.Context
+)
+
+// ParseTemplate compiles a template.
+var (
+	ParseTemplate     = template.Parse
+	MustParseTemplate = template.MustParse
+)
+
+// ---- storage ----
+
+// DocStore is the CouchDB-style labelled document store; Document is one
+// stored document; Replicator pushes changes one way between stores.
+type (
+	DocStore        = docstore.Store
+	Document        = docstore.Document
+	Replicator      = docstore.Replicator
+	DocStoreOptions = docstore.Options
+)
+
+// Document-store constructors; DocStoreHandler exposes a store over HTTP.
+var (
+	NewDocStore     = docstore.New
+	NewReplicator   = docstore.NewReplicator
+	ReplicateOnce   = docstore.ReplicateOnce
+	DocStoreHandler = docstore.Handler
+)
+
+// WebDB is the frontend's account/privilege/session database.
+type (
+	WebDB        = webdb.DB
+	WebUser      = webdb.User
+	PrivilegeRow = webdb.PrivilegeRow
+)
+
+// NewWebDB creates an empty web database; LoadWebDB reads one from disk.
+var (
+	NewWebDB  = webdb.New
+	LoadWebDB = webdb.Load
+)
+
+// ---- frontend ----
+
+// Frontend is the SafeWeb web application host with check-on-release;
+// RequestCtx is the per-request handler context.
+type (
+	Frontend       = webfront.App
+	FrontendConfig = webfront.Config
+	RequestCtx     = webfront.Ctx
+	HandlerFunc    = webfront.HandlerFunc
+	PhaseTimes     = webfront.PhaseTimes
+)
+
+// NewFrontend creates a frontend application host.
+var NewFrontend = webfront.New
+
+// ---- extensions ----
+
+// LabelManager applies runtime privilege delegations to a live policy
+// (§4.1's dynamic label manager).
+type LabelManager = labelmgr.Manager
+
+// FederationBridge links two SafeWeb instances, mapping labels across the
+// boundary (§7's regional federation).
+type (
+	FederationBridge = federation.Bridge
+	FederationRule   = federation.Rule
+)
+
+// NewFederationBridge starts a bridge; FederationPrefixMap builds the
+// common prefix-rewriting label map. TaintFromUser wraps user input with
+// the injection-guard marker (§4.4).
+var (
+	NewFederationBridge = federation.New
+	FederationPrefixMap = federation.PrefixMap
+	TaintFromUser       = taint.FromUser
+)
+
+// ---- assembled middleware ----
+
+// Middleware is a fully assembled SafeWeb deployment (backend + one-way
+// replication + frontend), per the paper's Fig. 4 topology.
+type (
+	Middleware       = core.Middleware
+	MiddlewareConfig = core.Config
+)
+
+// NewMiddleware assembles a deployment.
+var NewMiddleware = core.New
