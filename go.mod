@@ -1,0 +1,3 @@
+module safeweb
+
+go 1.24

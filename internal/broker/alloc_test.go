@@ -1,0 +1,141 @@
+package broker
+
+import (
+	"testing"
+
+	"safeweb/internal/event"
+	"safeweb/internal/label"
+)
+
+// TestPublishAllocsUnlabelledSingleSubscriber pins the zero-allocation
+// fast path: routing an attribute-free, unlabelled event to one
+// subscriber must not allocate at all (shared delivery, no clearance
+// machinery, no matched-set buffer).
+func TestPublishAllocsUnlabelledSingleSubscriber(t *testing.T) {
+	b := New(nil)
+	defer b.Close()
+	if _, err := b.Subscribe("s", "/t", "", func(*event.Event) {}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	ev := event.New("/t", nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := b.Publish("p", ev); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Publish allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestPublishAllocsLabelledSingleSubscriber pins the cached-clearance
+// path: after the first delivery warms the subscription's privilege
+// snapshot, labelled publishes must not allocate either.
+func TestPublishAllocsLabelledSingleSubscriber(t *testing.T) {
+	p := label.NewPolicy()
+	p.Grant("s", label.Clearance, label.MustParsePattern("label:conf:ecric.org.uk/*"))
+	b := New(p)
+	defer b.Close()
+	if _, err := b.Subscribe("s", "/t", "", func(*event.Event) {}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	ev := event.New("/t", nil, label.Conf("ecric.org.uk/mdt/7"))
+	ev.Freeze() // publish-time memo; warm it like Publish does
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := b.Publish("p", ev); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("labelled Publish allocs/op = %v, want 0", allocs)
+	}
+}
+
+// TestClearanceCacheInvalidation verifies that the per-subscription
+// privilege snapshot is refreshed when the policy changes: a grant made
+// after subscription (and after deliveries populated the cache) must
+// apply to the next publish, and a revocation must stop delivery.
+func TestClearanceCacheInvalidation(t *testing.T) {
+	p := label.NewPolicy()
+	b := New(p)
+	defer b.Close()
+
+	h, got := collect()
+	mustSubscribe(t, b, "late", "/t", "", h)
+
+	secret := event.New("/t", nil, label.Conf("ecric.org.uk/mdt/7"))
+
+	// Not yet cleared: filtered (and the empty snapshot is cached).
+	if err := b.Publish("p", secret); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if n := len(got()); n != 0 {
+		t.Fatalf("uncleared subscriber got %d events", n)
+	}
+
+	// Dynamic delegation: grant clearance, the cache must notice.
+	pat := label.MustParsePattern("label:conf:ecric.org.uk/mdt/7")
+	p.Grant("late", label.Clearance, pat)
+	if err := b.Publish("p", secret); err != nil {
+		t.Fatalf("Publish after grant: %v", err)
+	}
+	if n := len(got()); n != 1 {
+		t.Fatalf("after grant got %d events, want 1", n)
+	}
+
+	// Revocation must also take effect.
+	if !p.Revoke("late", label.Clearance, pat) {
+		t.Fatal("Revoke found nothing")
+	}
+	if err := b.Publish("p", secret); err != nil {
+		t.Fatalf("Publish after revoke: %v", err)
+	}
+	if n := len(got()); n != 1 {
+		t.Fatalf("after revoke got %d events, want still 1", n)
+	}
+	if b.Stats().FilteredByLabel != 2 {
+		t.Errorf("FilteredByLabel = %d, want 2", b.Stats().FilteredByLabel)
+	}
+}
+
+// TestSharedDeliveryAttrFreeEvent documents the zero-copy contract: an
+// attribute-free event is shared between publisher and subscribers rather
+// than cloned.
+func TestSharedDeliveryAttrFreeEvent(t *testing.T) {
+	b := New(nil)
+	defer b.Close()
+	var seen *event.Event
+	mustSubscribe(t, b, "s", "/t", "", func(ev *event.Event) { seen = ev })
+	ev := event.New("/t", nil)
+	ev.Body = []byte("payload")
+	if err := b.Publish("p", ev); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if seen != ev {
+		t.Error("attribute-free event was copied; want shared delivery")
+	}
+}
+
+// TestDeliveryIsolatesAttrs is the complement: events with attributes get
+// a per-subscriber attribute map, while body and labels stay shared.
+func TestDeliveryIsolatesAttrs(t *testing.T) {
+	b := New(nil)
+	defer b.Close()
+	var seen *event.Event
+	mustSubscribe(t, b, "s", "/t", "", func(ev *event.Event) { seen = ev })
+	ev := event.New("/t", map[string]string{"k": "v"})
+	ev.Body = []byte("payload")
+	if err := b.Publish("p", ev); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	if seen == ev {
+		t.Fatal("attr-carrying event shared; want isolated attrs")
+	}
+	seen.Attrs["k"] = "mutated"
+	if ev.Attrs["k"] != "v" {
+		t.Error("subscriber mutation leaked into publisher's event")
+	}
+	if &seen.Body[0] != &ev.Body[0] {
+		t.Error("body was copied; want shared")
+	}
+}

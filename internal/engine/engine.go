@@ -234,38 +234,50 @@ func (e *Engine) Drain() {
 // pendingTracker counts in-flight events. Unlike sync.WaitGroup it
 // permits add() racing wait() from zero, which happens with networked
 // brokers where deliveries arrive on connection read goroutines.
+//
+// The tracker is lock-free on the hot path: every delivered event costs
+// one atomic add on enqueue and one on completion, instead of the two
+// mutex acquisitions of a mutex+cond design. Waiters install a gate
+// channel that zero-crossings close.
 type pendingTracker struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	n    int
+	n    atomic.Int64
+	gate atomic.Pointer[chan struct{}]
 }
 
 func (p *pendingTracker) add(delta int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.cond == nil {
-		p.cond = sync.NewCond(&p.mu)
-	}
-	p.n += delta
-	if p.n <= 0 {
-		p.cond.Broadcast()
+	if p.n.Add(int64(delta)) <= 0 {
+		if ch := p.gate.Swap(nil); ch != nil {
+			close(*ch)
+		}
 	}
 }
 
 func (p *pendingTracker) count() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.n
+	return int(p.n.Load())
 }
 
 func (p *pendingTracker) wait() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.cond == nil {
-		p.cond = sync.NewCond(&p.mu)
-	}
-	for p.n > 0 {
-		p.cond.Wait()
+	for {
+		if p.n.Load() <= 0 {
+			return
+		}
+		ch := p.gate.Load()
+		if ch == nil {
+			nc := make(chan struct{})
+			if !p.gate.CompareAndSwap(nil, &nc) {
+				continue // another waiter installed a gate; share it
+			}
+			ch = &nc
+			// Re-check: a zero-crossing between the count check and the
+			// gate install would have found no gate to close.
+			if p.n.Load() <= 0 {
+				if c := p.gate.Swap(nil); c != nil {
+					close(*c)
+				}
+				return
+			}
+		}
+		<-*ch
 	}
 }
 

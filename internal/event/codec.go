@@ -33,34 +33,55 @@ func MarshalHeaders(e *Event) (map[string]string, []byte, error) {
 	}
 	headers[HeaderDestination] = e.Topic
 	if !e.Labels.IsEmpty() {
-		headers[HeaderLabels] = e.Labels.String()
+		if e.labelHeader != "" {
+			headers[HeaderLabels] = e.labelHeader
+		} else {
+			headers[HeaderLabels] = e.Labels.String()
+		}
 	}
 	return headers, e.Body, nil
 }
 
+// skippedHeader reports whether a STOMP header is transport metadata
+// rather than an event attribute.
+func skippedHeader(k string) bool {
+	switch k {
+	case HeaderDestination, HeaderLabels, HeaderClearance,
+		"subscription", "message-id", "content-length", "receipt",
+		"receipt-id", "id", "ack", "selector", "transaction":
+		return true
+	}
+	return false
+}
+
 // UnmarshalHeaders reconstructs an event from STOMP headers and a body.
 // Standard STOMP headers that are not event attributes (subscription,
-// message-id, content-length, receipt) are skipped.
+// message-id, content-length, receipt) are skipped; the attribute map is
+// sized to the attributes that survive the skip, and stays nil when none
+// do.
 func UnmarshalHeaders(headers map[string]string, body []byte) (*Event, error) {
-	e := &Event{
-		Topic: headers[HeaderDestination],
-		Attrs: make(map[string]string, len(headers)),
-	}
+	e := &Event{Topic: headers[HeaderDestination]}
 	if e.Topic == "" {
 		return nil, fmt.Errorf("event: missing %s header", HeaderDestination)
 	}
+	attrs := 0
+	for k := range headers {
+		if !skippedHeader(k) {
+			attrs++
+		}
+	}
+	if attrs > 0 {
+		e.Attrs = make(map[string]string, attrs)
+	}
 	for k, v := range headers {
-		switch k {
-		case HeaderDestination, "subscription", "message-id", "content-length", "receipt", "receipt-id", "id", "ack", "selector", "transaction":
-			continue
-		case HeaderLabels:
+		if k == HeaderLabels {
 			labels, err := label.ParseSet(v)
 			if err != nil {
 				return nil, fmt.Errorf("event: bad label header: %w", err)
 			}
 			e.Labels = labels
-			continue
-		case HeaderClearance:
+		}
+		if skippedHeader(k) {
 			continue
 		}
 		e.Attrs[k] = v

@@ -34,25 +34,48 @@ type Event struct {
 	// e.g. "/patient_report".
 	Topic string
 	// Attrs holds the key-value attribute pairs. Keys and values are
-	// untyped strings.
+	// untyped strings. A nil map means no attributes; Set initialises it
+	// on first write.
 	Attrs map[string]string
-	// Body is the optional payload.
+	// Body is the optional payload. The broker shares the body between
+	// the publisher and all subscribers (payloads are treated as
+	// immutable once published), so it must not be modified in place
+	// after publishing or on receipt.
 	Body []byte
 	// Labels is the event's security label set (confidentiality and
 	// integrity labels together).
 	Labels label.Set
+
+	// labelHeader memoises Labels.String(), the sorted wire form used by
+	// MarshalHeaders. The broker computes it once per publish (before
+	// fan-out, on the publishing goroutine) so that delivering one event
+	// to many networked subscribers does not re-sort the label set per
+	// frame. Empty means "not cached"; an event's labels never change
+	// after publishing, so the memo cannot go stale.
+	labelHeader string
+
+	// frozen is set by Freeze when the broker publishes the event. A
+	// frozen event may be shared between the publisher and several
+	// subscribers, so Set refuses to mutate it.
+	frozen bool
 }
 
+// ErrFrozen is returned by Set on an event that has been published.
+var ErrFrozen = errors.New("event: frozen after publish")
+
 // New creates an event on the given topic with a copy of the given
-// attributes and labels.
+// attributes and labels. An empty attribute map is stored as nil, so
+// attribute-free events cost no map allocation anywhere downstream.
 func New(topic string, attrs map[string]string, labels ...label.Label) *Event {
 	e := &Event{
 		Topic:  topic,
-		Attrs:  make(map[string]string, len(attrs)),
 		Labels: label.NewSet(labels...),
 	}
-	for k, v := range attrs {
-		e.Attrs[k] = v
+	if len(attrs) > 0 {
+		e.Attrs = make(map[string]string, len(attrs))
+		for k, v := range attrs {
+			e.Attrs[k] = v
+		}
 	}
 	return e
 }
@@ -81,8 +104,15 @@ func (e *Event) Get(key string) (string, bool) {
 func (e *Event) Attr(key string) string { return e.Attrs[key] }
 
 // Set sets an attribute, initialising the map if needed. It returns an
-// error for reserved attribute names.
+// error for reserved attribute names, and ErrFrozen for events that have
+// been published: a published event may be shared between the publisher
+// and all its subscribers, so in-place mutation would leak across
+// isolation boundaries. To modify a received event, Clone it (or build a
+// new one with Derive).
 func (e *Event) Set(key, value string) error {
+	if e.frozen {
+		return fmt.Errorf("%w: %q", ErrFrozen, key)
+	}
 	if strings.HasPrefix(key, ReservedPrefix) {
 		return fmt.Errorf("%w: %q", ErrReservedAttribute, key)
 	}
@@ -94,7 +124,10 @@ func (e *Event) Set(key, value string) error {
 }
 
 // Clone returns a deep copy of the event. Label sets are immutable by
-// convention and therefore shared.
+// convention and therefore shared. The clone is independent: it is not
+// frozen and does not inherit the label-header memo, so callers may
+// re-label it (as the federation bridge does) without a stale wire
+// header surviving.
 func (e *Event) Clone() *Event {
 	out := &Event{
 		Topic:  e.Topic,
@@ -110,6 +143,45 @@ func (e *Event) Clone() *Event {
 		out.Body = append([]byte(nil), e.Body...)
 	}
 	return out
+}
+
+// Delivery returns the event to hand to one subscriber. Published events
+// are frozen — the publisher must not touch them after Publish — so
+// everything immutable is shared: topic, body, labels and the cached
+// label header. Only the attribute map is copied, because handlers are
+// allowed to annotate their own view of an event in place and a buggy
+// unit must not be able to affect its peers. Attribute-free events are
+// shared outright, making delivery allocation-free; the shared event
+// stays frozen, so Set on it fails instead of leaking across subscribers,
+// while per-subscriber copies are mutable.
+func (e *Event) Delivery() *Event {
+	if len(e.Attrs) == 0 {
+		return e
+	}
+	attrs := make(map[string]string, len(e.Attrs))
+	for k, v := range e.Attrs {
+		attrs[k] = v
+	}
+	return &Event{
+		Topic:       e.Topic,
+		Attrs:       attrs,
+		Body:        e.Body,
+		Labels:      e.Labels,
+		labelHeader: e.labelHeader,
+	}
+}
+
+// Freeze marks the event as published: it memoises the sorted wire form
+// of the label set for MarshalHeaders and blocks further Set calls, since
+// the event may now be shared between the publisher and any number of
+// subscribers. The broker calls it once per publish before fan-out, on
+// the publishing goroutine; it must not be called concurrently with
+// readers of the same event.
+func (e *Event) Freeze() {
+	e.frozen = true
+	if e.labelHeader == "" && !e.Labels.IsEmpty() {
+		e.labelHeader = e.Labels.String()
+	}
 }
 
 // Derive creates a new event on the given topic whose labels are composed

@@ -7,6 +7,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Policy is the data-flow policy specification shared by the event
@@ -17,10 +18,21 @@ import (
 //
 // Policy is safe for concurrent use; the engine reads it on every
 // subscription and publish, and deployments may reload it at runtime.
+//
+// Every mutation bumps a generation counter. Hot paths (the broker's
+// per-subscription clearance cache) snapshot privileges once and re-read
+// them only when the generation moves, so steady-state delivery never
+// takes the policy lock.
 type Policy struct {
 	mu         sync.RWMutex
 	principals map[string]*principalEntry
+	gen        atomic.Uint64
 }
+
+// Generation returns a counter that increases on every policy mutation.
+// Callers may cache the result of PrivilegesOf and treat it as fresh while
+// the generation is unchanged.
+func (p *Policy) Generation() uint64 { return p.gen.Load() }
 
 type principalEntry struct {
 	privileged bool
@@ -129,6 +141,7 @@ func (p *Policy) SetPrincipal(name string, privs *Privileges, privileged bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.principals[name] = &principalEntry{privileged: privileged, privs: privs.Clone()}
+	p.gen.Add(1)
 }
 
 // RemovePrincipal deletes a principal from the policy.
@@ -136,6 +149,7 @@ func (p *Policy) RemovePrincipal(name string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	delete(p.principals, name)
+	p.gen.Add(1)
 }
 
 // PrivilegesOf returns a copy of the privileges held by the named
@@ -184,6 +198,7 @@ func (p *Policy) Grant(principal string, priv Privilege, pat Pattern) {
 		p.principals[principal] = entry
 	}
 	entry.privs.Grant(priv, pat)
+	p.gen.Add(1)
 }
 
 // Revoke removes every grant of exactly the given privilege/pattern pair
@@ -197,5 +212,9 @@ func (p *Policy) Revoke(principal string, priv Privilege, pat Pattern) bool {
 	if !ok {
 		return false
 	}
-	return entry.privs.revoke(priv, pat)
+	removed := entry.privs.revoke(priv, pat)
+	if removed {
+		p.gen.Add(1)
+	}
+	return removed
 }

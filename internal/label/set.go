@@ -87,10 +87,34 @@ func (s Set) With(labels ...Label) Set {
 
 // Without returns a new set containing all labels of s except the given
 // labels. It performs no privilege checking; callers enforce declassification
-// before using it.
+// before using it. When nothing would be removed, s is returned unchanged
+// (sets are immutable by convention, so sharing is safe), and the common
+// one-label removal avoids building an intermediate drop set.
 func (s Set) Without(labels ...Label) Set {
 	if len(s) == 0 {
 		return nil
+	}
+	any := false
+	for _, l := range labels {
+		if s.Contains(l) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return s
+	}
+	if len(labels) == 1 {
+		if len(s) == 1 {
+			return nil
+		}
+		out := make(Set, len(s)-1)
+		for l := range s {
+			if l != labels[0] {
+				out[l] = struct{}{}
+			}
+		}
+		return out
 	}
 	drop := NewSet(labels...)
 	var out Set
@@ -163,14 +187,26 @@ func (s Set) Equal(other Set) bool {
 	return len(s) == len(other) && s.SubsetOf(other)
 }
 
-// OfKind returns the subset of labels with the given kind.
+// OfKind returns the subset of labels with the given kind. When every
+// label already has the kind, s itself is returned (sets are immutable by
+// convention), so homogeneous sets — the common case on the broker's
+// delivery path — cost no allocation.
 func (s Set) OfKind(kind Kind) Set {
-	var out Set
+	matched := 0
 	for l := range s {
 		if l.kind == kind {
-			if out == nil {
-				out = make(Set)
-			}
+			matched++
+		}
+	}
+	switch matched {
+	case 0:
+		return nil
+	case len(s):
+		return s
+	}
+	out := make(Set, matched)
+	for l := range s {
+		if l.kind == kind {
 			out[l] = struct{}{}
 		}
 	}
@@ -206,6 +242,14 @@ func (s Set) Strings() []string {
 // String renders the set as a comma-separated list of sorted label URIs,
 // the representation used in STOMP headers and document metadata.
 func (s Set) String() string {
+	switch len(s) {
+	case 0:
+		return ""
+	case 1:
+		for l := range s {
+			return l.String()
+		}
+	}
 	return strings.Join(s.Strings(), ",")
 }
 

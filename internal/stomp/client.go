@@ -8,6 +8,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,6 +48,12 @@ type Client struct {
 	receipts map[string]chan struct{}
 	nextID   uint64
 	closed   bool
+
+	// inHandler is set while the read loop runs a MessageHandler. A
+	// Subscribe issued from inside a handler cannot wait for its RECEIPT
+	// (only the read loop could deliver it), so it degrades to an
+	// unconfirmed subscribe instead of deadlocking.
+	inHandler atomic.Bool
 
 	readDone chan struct{}
 }
@@ -142,7 +149,9 @@ func (c *Client) readLoop(r *bufio.Reader) {
 			handler := c.subs[f.Header(HdrSubscription)]
 			c.mu.Unlock()
 			if handler != nil {
+				c.inHandler.Store(true)
 				handler(f)
+				c.inHandler.Store(false)
 			}
 		case CmdReceipt:
 			c.mu.Lock()
@@ -189,6 +198,13 @@ func (c *Client) SendReceipt(destination string, headers map[string]string, body
 // header here). It returns the subscription id. "Subscriptions include
 // unique identifiers to simplify the handling of subscriptions issued by
 // different units" (§4.2).
+//
+// The SUBSCRIBE frame is receipt-confirmed: Subscribe returns only after
+// the broker has processed the registration, so events published on other
+// connections afterwards cannot race past the subscription. The
+// confirmation arrives on the read loop, so a Subscribe issued from
+// within a MessageHandler skips the wait (fire-and-forget, the pre-PR
+// behaviour) rather than deadlocking against itself.
 func (c *Client) Subscribe(destination, sel string, extraHeaders map[string]string, handler MessageHandler) (string, error) {
 	if handler == nil {
 		return "", errors.New("stomp: nil subscription handler")
@@ -212,7 +228,13 @@ func (c *Client) Subscribe(destination, sel string, extraHeaders map[string]stri
 	for k, v := range extraHeaders {
 		f.SetHeader(k, v)
 	}
-	if err := c.writeFrame(f); err != nil {
+	err := error(nil)
+	if c.inHandler.Load() {
+		err = c.writeFrame(f)
+	} else {
+		err = c.sendWithReceipt(f, 10*time.Second)
+	}
+	if err != nil {
 		c.mu.Lock()
 		delete(c.subs, id)
 		c.mu.Unlock()
