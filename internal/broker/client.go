@@ -31,6 +31,11 @@ type ClientConfig struct {
 type Client struct {
 	cfg   ClientConfig
 	stomp *stomp.Client
+
+	// labelCache memoises label-header parses across deliveries. All
+	// subscription handlers run on the connection's read goroutine, so
+	// the cache is goroutine-confined.
+	labelCache event.LabelCache
 }
 
 var _ Bus = (*Client)(nil)
@@ -68,7 +73,7 @@ func (c *Client) Publish(ev *event.Event) error {
 // Subscribe implements Bus.
 func (c *Client) Subscribe(topic, sel string, handler Handler) (string, error) {
 	return c.stomp.Subscribe(topic, sel, nil, func(f *stomp.Frame) {
-		ev, err := event.UnmarshalHeaders(f.Headers, f.Body)
+		ev, err := event.UnmarshalHeadersCached(f.Headers, f.Body, &c.labelCache)
 		if err != nil {
 			if c.cfg.OnError != nil {
 				c.cfg.OnError(err)

@@ -1,0 +1,117 @@
+package broker_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"safeweb/internal/broker"
+	"safeweb/internal/engine"
+	"safeweb/internal/event"
+	"safeweb/internal/label"
+)
+
+// pipeUnit adapts a name and init function to engine.Unit without pulling
+// the engine test helpers into this external test package.
+type pipeUnit struct {
+	name string
+	init func(ctx *engine.InitContext) error
+}
+
+func (u pipeUnit) Name() string                       { return u.name }
+func (u pipeUnit) Init(ctx *engine.InitContext) error { return u.init(ctx) }
+
+// BenchmarkNetworkPipeline measures the full networked hop an event takes
+// between two engines (paper §4.2–4.3, E3/E6): a trigger reaches the
+// producer engine over TCP STOMP, its callback publishes one labelled
+// event back through the broker, and the consumer engine receives it on
+// each of its fan-out subscriptions. Per trigger the wire carries one
+// MESSAGE to the producer, one SEND from it, and fanout MESSAGE frames to
+// the consumer, so the benchmark exercises STOMP framing, per-connection
+// writes and engine dispatch — everything between two networked units.
+func BenchmarkNetworkPipeline(b *testing.B) {
+	for _, fanout := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
+			policy := label.NewPolicy()
+			policy.Grant("consumer", label.Clearance,
+				label.MustParsePattern("label:conf:ecric.org.uk/*"))
+			policy.Grant("producer", label.Clearance,
+				label.MustParsePattern("label:conf:ecric.org.uk/*"))
+			br := broker.New(policy)
+			defer br.Close()
+			srv, err := broker.NewServer("127.0.0.1:0", br, broker.ServerConfig{Logf: b.Logf})
+			if err != nil {
+				b.Fatalf("NewServer: %v", err)
+			}
+			defer srv.Close()
+
+			newEngine := func() *engine.Engine {
+				e, err := engine.New(engine.Config{
+					Policy: policy,
+					Bus: func(principal string) (broker.Bus, error) {
+						return broker.DialBus(srv.Addr(), broker.ClientConfig{
+							Login:   principal,
+							OnError: func(err error) { b.Logf("bus error: %v", err) },
+						})
+					},
+					QueueSize: 1024,
+					Logf:      b.Logf,
+				})
+				if err != nil {
+					b.Fatalf("engine.New: %v", err)
+				}
+				return e
+			}
+			producer := newEngine()
+			defer producer.Stop()
+			consumer := newEngine()
+			defer consumer.Stop()
+
+			payload := []byte(`{"patient_id": 33812769, "type": "cancer", "summary": "report"}`)
+			mdt := label.Conf("ecric.org.uk/mdt/7")
+			err = producer.AddUnit(pipeUnit{name: "producer", init: func(ctx *engine.InitContext) error {
+				return ctx.Subscribe("/bench/trigger", "", func(ctx *engine.Context, ev *event.Event) error {
+					return ctx.Publish("/bench/out", nil, payload, engine.WithAdd(mdt))
+				})
+			}})
+			if err != nil {
+				b.Fatalf("AddUnit producer: %v", err)
+			}
+			err = consumer.AddUnit(pipeUnit{name: "consumer", init: func(ctx *engine.InitContext) error {
+				for i := 0; i < fanout; i++ {
+					if err := ctx.Subscribe("/bench/out", "", func(ctx *engine.Context, ev *event.Event) error {
+						return nil
+					}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}})
+			if err != nil {
+				b.Fatalf("AddUnit consumer: %v", err)
+			}
+
+			trigger := event.New("/bench/trigger", nil)
+			want := uint64(b.N * fanout)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := br.Publish("driver", trigger); err != nil {
+					b.Fatalf("Publish: %v", err)
+				}
+			}
+			deadline := time.Now().Add(2 * time.Minute)
+			for consumer.Stats().EventsProcessed < want {
+				if time.Now().After(deadline) {
+					b.Fatalf("processed %d of %d events", consumer.Stats().EventsProcessed, want)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(want)/b.Elapsed().Seconds(), "events/s")
+			if got := consumer.Stats().CallbackErrors + producer.Stats().CallbackErrors; got != 0 {
+				b.Fatalf("%d callback errors", got)
+			}
+		})
+	}
+}

@@ -4,7 +4,9 @@ import (
 	"crypto/tls"
 	"fmt"
 	"log"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"safeweb/internal/event"
 	"safeweb/internal/stomp"
@@ -40,7 +42,33 @@ type serverSession struct {
 	// subscription.
 	subs map[string]*Subscription
 
-	msgSeq uint64
+	// idPrefix is the session's message-id prefix ("m-<session>-");
+	// msgSeq numbers messages within it without touching the server lock.
+	idPrefix string
+	msgSeq   atomic.Uint64
+
+	// lastFrame memoises the MESSAGE frame built for the most recently
+	// delivered event: a fan-out of N subscriptions on one session
+	// marshals the event once and shares the base frame across
+	// deliveries. Best-effort — concurrent publishers may rebuild;
+	// correctness never depends on a hit.
+	lastFrame atomic.Pointer[deliveryFrame]
+
+	// labelCache memoises label-header parses for this session's inbound
+	// SENDs; OnFrame runs on the session read goroutine only.
+	labelCache event.LabelCache
+}
+
+// deliveryFrame pairs a delivered event with the base MESSAGE frame built
+// from it. The frame is immutable once stored — deliveries pass it to
+// Session.SendMessage unmodified, and the per-subscription routing
+// headers exist only on the wire (encoder-side), sharing headers and body
+// the same way the broker core shares events (zero-copy delivery). Never
+// mutate a frame on the delivery path; concurrent deliveries of the same
+// event share it.
+type deliveryFrame struct {
+	ev *event.Event
+	f  *stomp.Frame
 }
 
 // NewServer starts a STOMP front for the broker on addr.
@@ -76,8 +104,9 @@ func (s *Server) OnConnect(sess *stomp.Session, login string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.sessions[sess.ID()] = &serverSession{
-		sess: sess,
-		subs: make(map[string]*Subscription),
+		sess:     sess,
+		subs:     make(map[string]*Subscription),
+		idPrefix: "m-" + strconv.FormatUint(sess.ID(), 10) + "-",
 	}
 	return nil
 }
@@ -107,7 +136,7 @@ func (s *Server) OnFrame(sess *stomp.Session, f *stomp.Frame) error {
 
 	switch f.Command {
 	case stomp.CmdSend:
-		ev, err := event.UnmarshalHeaders(f.Headers, f.Body)
+		ev, err := event.UnmarshalHeadersCached(f.Headers, f.Body, &ss.labelCache)
 		if err != nil {
 			return err
 		}
@@ -149,22 +178,50 @@ func (s *Server) OnFrame(sess *stomp.Session, f *stomp.Frame) error {
 	}
 }
 
-// deliver sends a matched event to a session as a MESSAGE frame.
+// deliver sends a matched event to a session as a MESSAGE frame. The base
+// frame (event headers + shared body) is built once per event and shared
+// across the session's matching subscriptions; the per-delivery
+// subscription and message-id routing headers are handed to the encoder
+// and exist only on the wire, so fan-out never clones the frame. The
+// frames feed the session's coalescing writer, so a fan-out burst costs
+// one flush.
 func (s *Server) deliver(ss *serverSession, clientSubID string, ev *event.Event) {
+	base := ss.baseFrame(ev)
+	if base == nil {
+		return // event was validated at publish; cannot happen in practice
+	}
+	seq := ss.msgSeq.Add(1)
+	// Session teardown races are handled by OnDisconnect.
+	_ = ss.sess.SendMessage(base, clientSubID, ss.idPrefix, seq)
+}
+
+// maxMemoBodyLen caps the body size of memoised delivery frames: an idle
+// session must not pin a multi-megabyte payload until its next delivery.
+// Above the cap, rebuilding a header map is noise next to writing the
+// body anyway.
+const maxMemoBodyLen = 64 * 1024
+
+// baseFrame returns the routing-header-free MESSAGE frame for ev,
+// marshalling it at most once per event in the common sequential-delivery
+// case. Memo hits require pointer identity, which the broker core
+// provides for attribute-free events (shared outright across
+// subscribers); holding the event in the memo keeps its address live, so
+// a stale pointer can never alias a new event.
+func (ss *serverSession) baseFrame(ev *event.Event) *stomp.Frame {
+	if m := ss.lastFrame.Load(); m != nil && m.ev == ev {
+		return m.f
+	}
 	headers, body, err := event.MarshalHeaders(ev)
 	if err != nil {
-		return // event was validated at publish; cannot happen in practice
+		return nil
 	}
 	f := stomp.NewFrame(stomp.CmdMessage)
 	for k, v := range headers {
 		f.SetHeader(k, v)
 	}
-	f.SetHeader(stomp.HdrSubscription, clientSubID)
-	s.mu.Lock()
-	ss.msgSeq++
-	seq := ss.msgSeq
-	s.mu.Unlock()
-	f.SetHeader(stomp.HdrMessageID, fmt.Sprintf("m-%d-%d", ss.sess.ID(), seq))
 	f.Body = body
-	_ = ss.sess.Send(f) // session teardown races are handled by OnDisconnect
+	if len(body) <= maxMemoBodyLen {
+		ss.lastFrame.Store(&deliveryFrame{ev: ev, f: f})
+	}
+	return f
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"safeweb/internal/event"
@@ -15,18 +16,42 @@ import (
 // callback publishes or stores.
 //
 // A Context is owned by a single callback invocation and must not be
-// shared across goroutines or retained after the callback returns.
+// shared across goroutines or retained after the callback returns. The
+// engine pools one Context per subscription worker and invalidates it
+// between callbacks (like InitContext after Init), so operations on a
+// retained Context fail with ErrContextInvalid while the worker is
+// between events. The enforcement is best-effort: a retained Context
+// used concurrently with the worker's next callback is a data race on
+// the pooled fields (before pooling, such retention read a stale private
+// snapshot instead), which is why the non-retention rule is a hard
+// contract, not a guideline.
 type Context struct {
 	engine *Engine
 	rt     *unitRuntime
 	labels label.Set
 }
 
-// Unit returns the executing unit's name.
-func (c *Context) Unit() string { return c.rt.name }
+// ErrContextInvalid reports a Context used outside the callback invocation
+// that owned it.
+var ErrContextInvalid = errors.New("engine: Context used outside its callback")
 
-// Jail returns the unit's jail for capability checks.
-func (c *Context) Jail() *jail.Jail { return c.rt.jail }
+// Unit returns the executing unit's name, or "" on an invalidated
+// Context.
+func (c *Context) Unit() string {
+	if c.rt == nil {
+		return ""
+	}
+	return c.rt.name
+}
+
+// Jail returns the unit's jail for capability checks, or nil on an
+// invalidated Context (capability lookups on nil fail closed).
+func (c *Context) Jail() *jail.Jail {
+	if c.rt == nil {
+		return nil
+	}
+	return c.rt.jail
+}
 
 // Labels returns the tracked label set (the paper's __LABELS__).
 func (c *Context) Labels() label.Set { return c.labels }
@@ -36,6 +61,9 @@ func (c *Context) Labels() label.Set { return c.labels }
 // labels", §4.1); adding an integrity label requires the endorsement
 // privilege.
 func (c *Context) AddLabels(labels ...label.Label) error {
+	if c.engine == nil {
+		return ErrContextInvalid
+	}
 	for _, l := range labels {
 		if l.Kind() == label.Integrity && !c.hasPrivilege(label.Endorse, l) {
 			c.engine.flowViolations.Add(1)
@@ -149,6 +177,9 @@ func collectOpts(opts []PublishOption) []publishOpts {
 // __LABELS__ to the event" (§4.3), adjusted by options with privilege
 // checks.
 func (c *Context) Publish(topic string, attrs map[string]string, body []byte, opts ...PublishOption) error {
+	if c.engine == nil {
+		return ErrContextInvalid
+	}
 	labels, err := c.resolveLabels(collectOpts(opts))
 	if err != nil {
 		return err
@@ -167,6 +198,9 @@ func (c *Context) Publish(topic string, attrs map[string]string, body []byte, op
 // data through stateful units (§4.3: "when a value is read from the store,
 // __LABELS__ is updated to reflect its confidentiality").
 func (c *Context) Get(key string) (string, bool) {
+	if c.engine == nil {
+		return "", false
+	}
 	value, labels, ok := c.rt.store.get(key)
 	if !ok {
 		return "", false
@@ -180,6 +214,9 @@ func (c *Context) Get(key string) (string, bool) {
 // label set ("all confidentiality labels in __LABELS__ are saved as the
 // key's confidentiality", §4.3).
 func (c *Context) Set(key, value string, opts ...PublishOption) error {
+	if c.engine == nil {
+		return ErrContextInvalid
+	}
 	labels, err := c.resolveLabels(collectOpts(opts))
 	if err != nil {
 		return err
@@ -189,18 +226,29 @@ func (c *Context) Set(key, value string, opts ...PublishOption) error {
 }
 
 // Delete removes a key from the unit's store. Deletion destroys data
-// rather than disclosing it, so no privilege is needed.
+// rather than disclosing it, so no privilege is needed. A no-op on an
+// invalidated Context.
 func (c *Context) Delete(key string) {
+	if c.rt == nil {
+		return
+	}
 	c.rt.store.delete(key)
 }
 
 // StoreKeys returns the unit store's keys, for diagnostic listings. The
-// keys themselves are not labelled; values are.
+// keys themselves are not labelled; values are. Nil on an invalidated
+// Context.
 func (c *Context) StoreKeys() []string {
+	if c.rt == nil {
+		return nil
+	}
 	return c.rt.store.keys()
 }
 
 // String implements fmt.Stringer for log lines.
 func (c *Context) String() string {
+	if c.rt == nil {
+		return "engine.Context{invalid}"
+	}
 	return fmt.Sprintf("engine.Context{unit=%s labels=%s}", c.rt.name, c.labels)
 }

@@ -96,7 +96,8 @@ type Engine struct {
 	units  map[string]*unitRuntime
 	closed bool
 
-	pending pendingTracker // in-flight events across all queues
+	pending  pendingTracker // in-flight events across all queues
+	procGate watermarkGate  // wakes Drain when processed moves
 
 	processed      atomic.Uint64
 	callbackErrors atomic.Uint64
@@ -112,13 +113,63 @@ type unitRuntime struct {
 	bus        broker.Bus
 	store      *kvStore
 
-	queues []chan *queuedEvent
+	// queues holds the per-subscription event queues. It is appended to
+	// (InitContext.Subscribe) and snapshotted (Stop, AddUnit cleanup)
+	// under the engine lock, so a subscription racing Stop can never
+	// leave a worker goroutine with an unclosed queue.
+	queues []*subQueue
 	wg     sync.WaitGroup
 }
 
+// subQueue wraps a subscription's event channel with a closed flag so a
+// delivery racing queue teardown — a publisher that routed through a
+// pre-unsubscribe snapshot of the broker's lock-free route table — is
+// dropped instead of panicking on a closed channel.
+type subQueue struct {
+	mu     sync.RWMutex
+	closed bool
+	ch     chan queuedEvent
+}
+
+// push enqueues qe unless the queue is closed, reporting whether it was
+// accepted. It may block while the queue is full; close waits for blocked
+// pushes, whose events the still-running worker drains first.
+func (q *subQueue) push(qe queuedEvent) bool {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return false
+	}
+	q.ch <- qe
+	return true
+}
+
+// close marks the queue closed and closes the channel, ending its worker
+// once the backlog is drained.
+func (q *subQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	close(q.ch)
+}
+
+// queuedEvent is one delivery handed from a bus read goroutine to a
+// subscription worker. It travels by value through the queue channel, so
+// the per-event heap allocation of a pointer-typed queue is gone.
 type queuedEvent struct {
 	ev *event.Event
 	cb Callback
+}
+
+// shutdown closes the unit's queues and waits for its workers. Callers
+// must have closed the unit's bus first (no further deliveries) and hold
+// a queues snapshot taken under the engine lock, or own the runtime
+// exclusively (AddUnit before registration).
+func (rt *unitRuntime) shutdown() {
+	for _, q := range rt.queues {
+		q.close()
+	}
+	rt.wg.Wait()
 }
 
 // New creates an engine.
@@ -198,18 +249,25 @@ func (e *Engine) AddUnit(u Unit) error {
 	// receives the restricted InitContext.
 	ictx := &InitContext{engine: e, rt: rt}
 	if err := u.Init(ictx); err != nil {
+		ictx.engine = nil // invalidate retained contexts
 		_ = bus.Close()
+		rt.shutdown()
 		return fmt.Errorf("engine: init unit %q: %w", name, err)
 	}
 	ictx.engine = nil // invalidate retained contexts
 
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		// Stop ran while Init was registering subscriptions; it never saw
+		// this unit, so its queues and workers are torn down here instead
+		// of leaking.
+		e.mu.Unlock()
 		_ = bus.Close()
+		rt.shutdown()
 		return errors.New("engine: closed")
 	}
 	e.units[name] = rt
+	e.mu.Unlock()
 	return nil
 }
 
@@ -220,13 +278,64 @@ func (e *Engine) AddUnit(u Unit) error {
 // covers deliveries still in flight on broker connections (with the
 // networked broker, events travel over TCP and are not yet counted while
 // on the wire).
+//
+// Drain is event-driven: it waits on the pending tracker's gate and on a
+// processed-watermark gate armed against the current counter, so it wakes
+// the moment the pipeline moves instead of sleeping through poll
+// intervals, and returns as soon as a full quiescence window passes with
+// no movement.
 func (e *Engine) Drain() {
 	for {
 		e.pending.wait()
 		before := e.processed.Load()
-		time.Sleep(2 * time.Millisecond)
-		if e.pending.count() == 0 && e.processed.Load() == before {
-			return
+		gate := e.procGate.arm()
+		if e.processed.Load() != before || e.pending.count() != 0 {
+			continue // moved while arming; not quiescent
+		}
+		timer := time.NewTimer(drainQuiesceWindow)
+		select {
+		case <-gate:
+			timer.Stop() // a callback completed: wire deliveries were in flight
+		case <-timer.C:
+			if e.pending.count() == 0 && e.processed.Load() == before {
+				return
+			}
+		}
+	}
+}
+
+// drainQuiesceWindow is how long Drain requires the pipeline to sit still
+// before declaring it quiescent; it covers deliveries on the wire that no
+// counter has seen yet.
+const drainQuiesceWindow = 2 * time.Millisecond
+
+// watermarkGate wakes waiters when a counter they watch has moved. The
+// hot-path cost when nobody waits is one atomic load.
+type watermarkGate struct {
+	gate atomic.Pointer[chan struct{}]
+}
+
+// bump signals any armed gate; callers invoke it after advancing the
+// watched counter.
+func (g *watermarkGate) bump() {
+	if g.gate.Load() == nil {
+		return
+	}
+	if ch := g.gate.Swap(nil); ch != nil {
+		close(*ch)
+	}
+}
+
+// arm returns a channel closed by the next bump. Concurrent waiters share
+// one gate.
+func (g *watermarkGate) arm() chan struct{} {
+	for {
+		if ch := g.gate.Load(); ch != nil {
+			return *ch
+		}
+		nc := make(chan struct{})
+		if g.gate.CompareAndSwap(nil, &nc) {
+			return nc
 		}
 	}
 }
@@ -295,28 +404,28 @@ func (e *Engine) Stop() {
 	}
 	e.mu.Unlock()
 
-	// Stop inflow first, then drain.
+	// Stop inflow first, then drain. rt.queues is frozen once e.closed is
+	// set (Subscribe rejects under the engine lock), so the snapshot read
+	// in shutdown is race-free.
 	for _, rt := range units {
 		_ = rt.bus.Close()
 	}
 	e.pending.wait()
 	for _, rt := range units {
-		for _, q := range rt.queues {
-			close(q)
-		}
-		rt.wg.Wait()
+		rt.shutdown()
 	}
 }
 
 // runCallback executes one callback invocation with label tracking and
-// panic containment.
-func (e *Engine) runCallback(rt *unitRuntime, cb Callback, ev *event.Event) {
+// panic containment. ctx is the worker's pooled Context: it is reset for
+// this event and invalidated again before the function returns, so a
+// callback that leaks its Context cannot act through it later (the same
+// rule InitContext enforces after Init).
+func (e *Engine) runCallback(ctx *Context, rt *unitRuntime, cb Callback, ev *event.Event) {
 	defer e.pending.add(-1)
-	ctx := &Context{
-		engine: e,
-		rt:     rt,
-		labels: ev.Labels, // __LABELS__ initialised to the event's labels (§4.3)
-	}
+	ctx.engine = e
+	ctx.rt = rt
+	ctx.labels = ev.Labels // __LABELS__ initialised to the event's labels (§4.3)
 	err := func() (err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -325,7 +434,11 @@ func (e *Engine) runCallback(rt *unitRuntime, cb Callback, ev *event.Event) {
 		}()
 		return cb(ctx, ev)
 	}()
+	ctx.engine = nil // invalidate retained contexts
+	ctx.rt = nil
+	ctx.labels = nil
 	e.processed.Add(1)
+	e.procGate.bump()
 	if err != nil {
 		e.callbackErrors.Add(1)
 		if e.cfg.OnCallbackError != nil {
@@ -369,19 +482,31 @@ func (c *InitContext) Subscribe(topic, sel string, cb Callback) error {
 	}
 	e, rt := c.engine, c.rt
 
-	queue := make(chan *queuedEvent, e.cfg.QueueSize)
+	queue := &subQueue{ch: make(chan queuedEvent, e.cfg.QueueSize)}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return errors.New("engine: closed")
+	}
 	rt.queues = append(rt.queues, queue)
+	e.mu.Unlock()
 	rt.wg.Add(1)
 	go func() {
 		defer rt.wg.Done()
-		for qe := range queue {
-			e.runCallback(rt, qe.cb, qe.ev)
+		// The worker owns one Context for its lifetime; runCallback
+		// resets it per event and invalidates it between events, so the
+		// per-callback Context allocation is gone from the dispatch path.
+		var ctx Context
+		for qe := range queue.ch {
+			e.runCallback(&ctx, rt, qe.cb, qe.ev)
 		}
 	}()
 
 	_, err := rt.bus.Subscribe(topic, sel, func(ev *event.Event) {
 		e.pending.add(1)
-		queue <- &queuedEvent{ev: ev, cb: cb}
+		if !queue.push(queuedEvent{ev: ev, cb: cb}) {
+			e.pending.add(-1) // engine stopping; late delivery dropped
+		}
 	})
 	if err != nil {
 		return fmt.Errorf("engine: subscribe unit %q to %q: %w", rt.name, topic, err)

@@ -3,9 +3,11 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"safeweb/internal/broker"
 	"safeweb/internal/event"
@@ -465,6 +467,117 @@ func TestIntegrityEndorsementInContext(t *testing.T) {
 		if !errors.As(err, &fe) || fe.Op != "endorse" {
 			t.Errorf("endorse attempt %d: err = %v", i, err)
 		}
+	}
+}
+
+// TestStopConcurrentWithAddUnit races Stop against an AddUnit whose Init
+// registers subscriptions. Whichever side wins, every subscription worker
+// goroutine must be torn down — an AddUnit that loses the race used to
+// leak its workers because Stop never saw the unit's queues.
+func TestStopConcurrentWithAddUnit(t *testing.T) {
+	policy := mdtPolicy()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 30; i++ {
+		b := broker.New(policy)
+		e, err := New(Config{
+			Policy: policy,
+			Bus: func(principal string) (broker.Bus, error) {
+				return b.Endpoint(principal), nil
+			},
+			Logf: t.Logf,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_ = e.AddUnit(&FuncUnit{UnitName: "aggregator", InitFunc: func(ctx *InitContext) error {
+				for j := 0; j < 4; j++ {
+					if err := ctx.Subscribe("/in", "", func(*Context, *event.Event) error {
+						return nil
+					}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}})
+		}()
+		go func() {
+			defer wg.Done()
+			e.Stop()
+		}()
+		wg.Wait()
+		e.Stop()
+		b.Close()
+	}
+	// Leaked subscription workers would accumulate across iterations; give
+	// legitimately exiting goroutines a moment to unwind.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+5 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+5 {
+		t.Errorf("goroutines grew from %d to %d; subscription workers leaked", before, n)
+	}
+}
+
+// TestContextInvalidAfterCallback: the pooled per-worker Context is
+// invalidated between callbacks, so a retained Context fails loudly
+// instead of acting with a later event's tracked labels.
+func TestContextInvalidAfterCallback(t *testing.T) {
+	policy := mdtPolicy()
+	b, e := newTestRig(t, policy)
+
+	leaked := make(chan *Context, 1)
+	err := e.AddUnit(&FuncUnit{UnitName: "aggregator", InitFunc: func(ctx *InitContext) error {
+		return ctx.Subscribe("/in", "", func(ctx *Context, ev *event.Event) error {
+			select {
+			case leaked <- ctx:
+			default:
+			}
+			return nil
+		})
+	}})
+	if err != nil {
+		t.Fatalf("AddUnit: %v", err)
+	}
+	if err := b.Publish("producer", event.New("/in", nil)); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+	e.Drain()
+
+	ctx := <-leaked
+	if err := ctx.Publish("/out", nil, nil); !errors.Is(err, ErrContextInvalid) {
+		t.Errorf("Publish on retained Context: err = %v, want ErrContextInvalid", err)
+	}
+	if err := ctx.Set("k", "v"); !errors.Is(err, ErrContextInvalid) {
+		t.Errorf("Set on retained Context: err = %v, want ErrContextInvalid", err)
+	}
+	if err := ctx.AddLabels(label.Conf("ecric.org.uk/x")); !errors.Is(err, ErrContextInvalid) {
+		t.Errorf("AddLabels on retained Context: err = %v, want ErrContextInvalid", err)
+	}
+	if _, ok := ctx.Get("k"); ok {
+		t.Error("Get on retained Context succeeded")
+	}
+}
+
+// TestSubQueuePushAfterClose: a delivery that lost the race against queue
+// teardown (publisher routed through a pre-unsubscribe route-table
+// snapshot) is dropped, not a send on a closed channel.
+func TestSubQueuePushAfterClose(t *testing.T) {
+	q := &subQueue{ch: make(chan queuedEvent, 1)}
+	if !q.push(queuedEvent{}) {
+		t.Fatal("push on open queue rejected")
+	}
+	go func() {
+		for range q.ch {
+		}
+	}()
+	q.close()
+	if q.push(queuedEvent{}) {
+		t.Error("push on closed queue accepted")
 	}
 }
 

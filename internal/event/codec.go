@@ -54,12 +54,44 @@ func skippedHeader(k string) bool {
 	return false
 }
 
+// LabelCache memoises the most recent label-header parse. Wire traffic
+// between two units typically repeats one label set for long runs of
+// messages, and parsed label sets are immutable, so a one-entry memo
+// keyed on the raw header string removes the per-message parse from the
+// connection read loop. A LabelCache must be confined to one goroutine
+// (each connection read loop owns one).
+type LabelCache struct {
+	hdr string
+	set label.Set
+}
+
+func (c *LabelCache) parse(hdr string) (label.Set, error) {
+	if c != nil && c.hdr == hdr {
+		return c.set, nil
+	}
+	set, err := label.ParseSet(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if c != nil {
+		c.hdr, c.set = hdr, set
+	}
+	return set, nil
+}
+
 // UnmarshalHeaders reconstructs an event from STOMP headers and a body.
 // Standard STOMP headers that are not event attributes (subscription,
 // message-id, content-length, receipt) are skipped; the attribute map is
 // sized to the attributes that survive the skip, and stays nil when none
-// do.
+// do. The event takes ownership of body without copying; callers must
+// not reuse it.
 func UnmarshalHeaders(headers map[string]string, body []byte) (*Event, error) {
+	return UnmarshalHeadersCached(headers, body, nil)
+}
+
+// UnmarshalHeadersCached is UnmarshalHeaders with an optional label-parse
+// memo for connection read loops (see LabelCache).
+func UnmarshalHeadersCached(headers map[string]string, body []byte, cache *LabelCache) (*Event, error) {
 	e := &Event{Topic: headers[HeaderDestination]}
 	if e.Topic == "" {
 		return nil, fmt.Errorf("event: missing %s header", HeaderDestination)
@@ -75,7 +107,7 @@ func UnmarshalHeaders(headers map[string]string, body []byte) (*Event, error) {
 	}
 	for k, v := range headers {
 		if k == HeaderLabels {
-			labels, err := label.ParseSet(v)
+			labels, err := cache.parse(v)
 			if err != nil {
 				return nil, fmt.Errorf("event: bad label header: %w", err)
 			}
@@ -87,7 +119,7 @@ func UnmarshalHeaders(headers map[string]string, body []byte) (*Event, error) {
 		e.Attrs[k] = v
 	}
 	if len(body) > 0 {
-		e.Body = append([]byte(nil), body...)
+		e.Body = body
 	}
 	return e, nil
 }

@@ -1,0 +1,88 @@
+package stomp
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"testing"
+)
+
+// messageFrame builds the 6-header MESSAGE frame used by the allocation
+// regression tests — the shape of a broker delivery on the hot path.
+func messageFrame() *Frame {
+	f := NewFrame(CmdMessage)
+	f.SetHeader(HdrDestination, "/patient_report")
+	f.SetHeader(HdrSubscription, "sub-12")
+	f.SetHeader(HdrMessageID, "m-3-4711")
+	f.SetHeader("patient_id", "33812769")
+	f.SetHeader("type", "cancer")
+	f.SetHeader("x-safeweb-labels", "label:conf:ecric.org.uk/mdt/7")
+	f.Body = []byte(`{"summary": "report", "mdt": 7}`)
+	return f
+}
+
+// TestEncodeAllocs pins the encoder's per-frame allocation budget: once
+// its scratch buffers are warm, encoding a 6-header MESSAGE frame must
+// not allocate (budget ≤ 1 alloc/op guards against regression, steady
+// state is 0).
+func TestEncodeAllocs(t *testing.T) {
+	f := messageFrame()
+	var enc Encoder
+	if err := enc.Encode(io.Discard, f); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := enc.Encode(io.Discard, f); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+	})
+	if avg > 1 {
+		t.Errorf("Encode allocs/op = %g, want <= 1", avg)
+	}
+}
+
+// TestEncoderShedsLargeBuffer: encoding one huge body must not pin its
+// scratch buffer for the connection's lifetime.
+func TestEncoderShedsLargeBuffer(t *testing.T) {
+	f := NewFrame(CmdSend)
+	f.SetHeader(HdrDestination, "/t")
+	f.Body = make([]byte, maxRetainedEncodeBuf+1)
+	var enc Encoder
+	if err := enc.Encode(io.Discard, f); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	if cap(enc.buf) > maxRetainedEncodeBuf {
+		t.Errorf("retained %d-byte scratch buffer, want <= %d", cap(enc.buf), maxRetainedEncodeBuf)
+	}
+}
+
+func BenchmarkFrameEncode(b *testing.B) {
+	f := messageFrame()
+	var enc Encoder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(io.Discard, f); err != nil {
+			b.Fatalf("Encode: %v", err)
+		}
+	}
+}
+
+func BenchmarkFrameDecode(b *testing.B) {
+	var wire bytes.Buffer
+	if err := WriteFrame(&wire, messageFrame()); err != nil {
+		b.Fatalf("WriteFrame: %v", err)
+	}
+	raw := bytes.NewReader(wire.Bytes())
+	br := bufio.NewReaderSize(raw, 32*1024)
+	dec := Decoder{r: br}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw.Reset(wire.Bytes())
+		br.Reset(raw)
+		if _, err := dec.Decode(); err != nil {
+			b.Fatalf("Decode: %v", err)
+		}
+	}
+}

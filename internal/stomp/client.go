@@ -1,7 +1,6 @@
 package stomp
 
 import (
-	"bufio"
 	"crypto/tls"
 	"errors"
 	"fmt"
@@ -36,12 +35,14 @@ type ClientConfig struct {
 }
 
 // Client is a STOMP client connection. All methods are safe for concurrent
-// use.
+// use. Outbound frames pass through a write-coalescing writer goroutine:
+// bursts of SEND frames are encoded back-to-back and flushed once per
+// batch, while control frames (SUBSCRIBE, DISCONNECT, anything carrying a
+// receipt request) flush immediately.
 type Client struct {
 	cfg  ClientConfig
 	conn net.Conn
-
-	writeMu sync.Mutex
+	fw   *frameWriter
 
 	mu       sync.Mutex
 	subs     map[string]MessageHandler
@@ -85,55 +86,60 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 		receipts: make(map[string]chan struct{}),
 		readDone: make(chan struct{}),
 	}
+	// A write error kills the connection so the read loop unblocks and
+	// reports through OnError; the writer goroutine must not wait on
+	// Close (which waits on it in turn).
+	c.fw = newFrameWriter(conn, func(error) { _ = conn.Close() })
+	fail := func(err error) (*Client, error) {
+		_ = conn.Close()
+		_ = c.fw.close()
+		return nil, err
+	}
 
 	connect := NewFrame(CmdConnect)
 	connect.SetHeader(HdrLogin, cfg.Login)
 	connect.SetHeader(HdrPasscode, cfg.Passcode)
 	connect.SetHeader("accept-version", "1.1")
 	if err := c.writeFrame(connect); err != nil {
-		_ = conn.Close()
-		return nil, err
+		return fail(err)
 	}
 
 	// Await CONNECTED synchronously before starting the dispatch loop.
 	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-		_ = conn.Close()
-		return nil, fmt.Errorf("stomp: set deadline: %w", err)
+		return fail(fmt.Errorf("stomp: set deadline: %w", err))
 	}
-	r := bufio.NewReaderSize(conn, 32*1024)
-	resp, err := ReadFrame(r)
+	dec := NewDecoder(conn)
+	resp, err := dec.Decode()
 	if err != nil {
-		_ = conn.Close()
-		return nil, fmt.Errorf("stomp: handshake: %w", err)
+		return fail(fmt.Errorf("stomp: handshake: %w", err))
 	}
 	switch resp.Command {
 	case CmdConnected:
 	case CmdError:
-		_ = conn.Close()
-		return nil, fmt.Errorf("stomp: connection refused: %s: %s", resp.Header(HdrMessage), resp.Body)
+		return fail(fmt.Errorf("stomp: connection refused: %s: %s", resp.Header(HdrMessage), resp.Body))
 	default:
-		_ = conn.Close()
-		return nil, protoErrorf("expected CONNECTED, got %s", resp.Command)
+		return fail(protoErrorf("expected CONNECTED, got %s", resp.Command))
 	}
 	if err := conn.SetReadDeadline(time.Time{}); err != nil {
-		_ = conn.Close()
-		return nil, fmt.Errorf("stomp: clear deadline: %w", err)
+		return fail(fmt.Errorf("stomp: clear deadline: %w", err))
 	}
 
-	go c.readLoop(r)
+	go c.readLoop(dec)
 	return c, nil
 }
 
 func (c *Client) writeFrame(f *Frame) error {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	return WriteFrame(c.conn, f)
+	return c.fw.send(outFrame{f: f, flush: frameNeedsFlush(f)})
 }
 
-func (c *Client) readLoop(r *bufio.Reader) {
+func (c *Client) readLoop(dec *Decoder) {
 	defer close(c.readDone)
+	// The connection is dead once the read loop exits; shut the writer
+	// down too so an abandoned Client (caller never invokes Close after
+	// OnError) does not leak the writer goroutine and its buffers.
+	defer func() { _ = c.fw.close() }()
 	for {
-		f, err := ReadFrame(r)
+		f, err := dec.Decode()
 		if err != nil {
 			c.mu.Lock()
 			closed := c.closed
@@ -302,7 +308,8 @@ func (c *Client) Disconnect(timeout time.Duration) error {
 	return closeErr
 }
 
-// Close tears the connection down immediately.
+// Close tears the connection down, draining already-queued frames under
+// the writer's close deadline so a stalled broker cannot wedge teardown.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -311,6 +318,7 @@ func (c *Client) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	_ = c.fw.close()
 	err := c.conn.Close()
 	<-c.readDone
 	return err

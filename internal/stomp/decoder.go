@@ -1,0 +1,295 @@
+package stomp
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Decoder decodes STOMP frames from a stream. It is the allocation-aware
+// counterpart of ReadFrame: the line buffer and the header scratch slices
+// are reused across frames, and each frame's header map is allocated
+// right-sized once the header block has been scanned. A Decoder is not
+// safe for concurrent use; each connection read loop owns one.
+type Decoder struct {
+	r    *bufio.Reader
+	line []byte
+	keys []string
+	vals []string
+}
+
+// NewDecoder wraps r in a Decoder; an existing *bufio.Reader is used
+// directly rather than double-buffered.
+func NewDecoder(r io.Reader) *Decoder {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 32*1024)
+	}
+	return &Decoder{r: br}
+}
+
+// Decode reads one frame. It skips heart-beat newlines between frames and
+// returns io.EOF at a clean end of stream.
+func (d *Decoder) Decode() (*Frame, error) {
+	// Skip inter-frame EOLs (heart-beats).
+	var cmd string
+	for {
+		line, err := d.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if len(line) > 0 {
+			cmd = string(line)
+			break
+		}
+	}
+	switch cmd {
+	case CmdConnect, CmdConnected, CmdSend, CmdSubscribe, CmdUnsubscribe,
+		CmdMessage, CmdReceipt, CmdError, CmdDisconnect, CmdAck, CmdNack,
+		CmdBegin, CmdCommit, CmdAbort:
+	default:
+		return nil, protoErrorf("unknown command %q", cmd)
+	}
+
+	// Scan the header block into reused scratch slices first, so the
+	// frame's header map can be allocated with the right size.
+	d.keys, d.vals = d.keys[:0], d.vals[:0]
+	for i := 0; ; i++ {
+		if i > maxHeaders {
+			return nil, protoErrorf("too many headers")
+		}
+		line, err := d.readLine()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		if len(line) == 0 {
+			break
+		}
+		sep := bytes.IndexByte(line, ':')
+		if sep < 0 {
+			return nil, protoErrorf("malformed header line %q", line)
+		}
+		key, ok := internHeaderKey(line[:sep])
+		if !ok {
+			key, err = unescapeHeaderBytes(line[:sep])
+			if err != nil {
+				return nil, err
+			}
+		}
+		val, err := unescapeHeaderBytes(line[sep+1:])
+		if err != nil {
+			return nil, err
+		}
+		d.keys = append(d.keys, key)
+		d.vals = append(d.vals, val)
+	}
+
+	f := &Frame{Command: cmd}
+	n := 0
+	for _, k := range d.keys {
+		if k != HdrContentLength {
+			n++
+		}
+	}
+	f.Headers = make(map[string]string, n)
+	bodyLen := -1
+	for i, k := range d.keys {
+		if k == HdrContentLength {
+			if bodyLen >= 0 {
+				continue // per spec, the first occurrence wins
+			}
+			v, err := strconv.Atoi(d.vals[i])
+			if err != nil || v < 0 {
+				return nil, protoErrorf("bad content-length %q", d.vals[i])
+			}
+			bodyLen = v
+			continue
+		}
+		// Per spec, the first occurrence of a repeated header wins.
+		if _, dup := f.Headers[k]; !dup {
+			f.Headers[k] = d.vals[i]
+		}
+	}
+
+	if bodyLen >= 0 {
+		if bodyLen > MaxBodyLen {
+			return nil, protoErrorf("body of %d bytes exceeds limit", bodyLen)
+		}
+		body := make([]byte, bodyLen)
+		if _, err := io.ReadFull(d.r, body); err != nil {
+			return nil, fmt.Errorf("stomp: short body: %w", err)
+		}
+		terminator, err := d.r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("stomp: missing frame terminator: %w", err)
+		}
+		if terminator != 0 {
+			return nil, protoErrorf("frame not NUL-terminated after body")
+		}
+		if bodyLen > 0 {
+			f.Body = body
+		}
+		return f, nil
+	}
+
+	// No content-length: body runs to the NUL terminator.
+	body, err := d.readBodyToNUL()
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > 0 {
+		f.Body = body
+	}
+	return f, nil
+}
+
+// readBodyToNUL reads a terminator-delimited body, enforcing MaxBodyLen —
+// a peer streaming garbage without ever sending the NUL must not grow the
+// buffer unboundedly.
+func (d *Decoder) readBodyToNUL() ([]byte, error) {
+	var body []byte
+	for {
+		chunk, err := d.r.ReadSlice(0)
+		body = append(body, chunk...)
+		if err == nil {
+			body = body[:len(body)-1]
+			if len(body) > MaxBodyLen {
+				return nil, protoErrorf("body of %d bytes exceeds limit", len(body))
+			}
+			return body, nil
+		}
+		if errors.Is(err, bufio.ErrBufferFull) {
+			if len(body) > MaxBodyLen {
+				return nil, protoErrorf("body of %d+ bytes exceeds limit", len(body))
+			}
+			continue
+		}
+		return nil, fmt.Errorf("stomp: unterminated frame: %w", err)
+	}
+}
+
+// readLine reads a \n-terminated line into the reused line buffer,
+// trimming an optional \r, with a length bound. The returned slice is
+// valid until the next readLine call.
+func (d *Decoder) readLine() ([]byte, error) {
+	d.line = d.line[:0]
+	for {
+		chunk, err := d.r.ReadSlice('\n')
+		d.line = append(d.line, chunk...)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, bufio.ErrBufferFull) {
+			if len(d.line) > MaxHeaderLen {
+				return nil, protoErrorf("header line exceeds %d bytes", MaxHeaderLen)
+			}
+			continue
+		}
+		if errors.Is(err, io.EOF) {
+			if len(d.line) == 0 {
+				return nil, io.EOF
+			}
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if len(d.line) > MaxHeaderLen {
+		return nil, protoErrorf("header line exceeds %d bytes", MaxHeaderLen)
+	}
+	line := d.line[:len(d.line)-1]
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// internHeaderKey returns the canonical string for header keys that
+// appear on essentially every frame, avoiding a per-header allocation in
+// the read loop. The interned names contain no escapable characters, so
+// matching the raw wire bytes is exact. The two x-safeweb names are
+// SafeWeb's label extension headers (package event); the codec stays
+// label-agnostic but may still recognise their spelling.
+func internHeaderKey(b []byte) (string, bool) {
+	switch string(b) { // compiler optimises away the conversion
+	case HdrDestination:
+		return HdrDestination, true
+	case HdrSubscription:
+		return HdrSubscription, true
+	case HdrMessageID:
+		return HdrMessageID, true
+	case HdrContentLength:
+		return HdrContentLength, true
+	case HdrReceipt:
+		return HdrReceipt, true
+	case HdrReceiptID:
+		return HdrReceiptID, true
+	case HdrID:
+		return HdrID, true
+	case HdrSelector:
+		return HdrSelector, true
+	case HdrLogin:
+		return HdrLogin, true
+	case HdrPasscode:
+		return HdrPasscode, true
+	case HdrSession:
+		return HdrSession, true
+	case HdrMessage:
+		return HdrMessage, true
+	case HdrVersion:
+		return HdrVersion, true
+	case "x-safeweb-labels":
+		return "x-safeweb-labels", true
+	case "x-safeweb-clearance":
+		return "x-safeweb-clearance", true
+	}
+	return "", false
+}
+
+// unescapeHeaderBytes reverses appendEscapedHeader, rejecting undefined
+// sequences. The result is an owned string; the input may be a reused
+// buffer.
+func unescapeHeaderBytes(b []byte) (string, error) {
+	if bytes.IndexByte(b, '\\') < 0 {
+		return string(b), nil
+	}
+	out := make([]byte, 0, len(b))
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(b) {
+			return "", protoErrorf("dangling escape in header %q", b)
+		}
+		switch b[i] {
+		case '\\':
+			out = append(out, '\\')
+		case 'n':
+			out = append(out, '\n')
+		case 'r':
+			out = append(out, '\r')
+		case 'c':
+			out = append(out, ':')
+		default:
+			return "", protoErrorf("undefined escape \\%c in header %q", b[i], b)
+		}
+	}
+	return string(out), nil
+}
+
+// ReadFrame decodes one frame from r. It skips heart-beat newlines between
+// frames and returns io.EOF at a clean end of stream. It is a convenience
+// wrapper for callers without a persistent Decoder; connection read loops
+// hold one to reuse its scratch buffers across frames.
+func ReadFrame(r *bufio.Reader) (*Frame, error) {
+	d := Decoder{r: r}
+	return d.Decode()
+}

@@ -10,12 +10,7 @@
 package stomp
 
 import (
-	"bufio"
-	"bytes"
-	"errors"
 	"fmt"
-	"io"
-	"sort"
 	"strconv"
 	"strings"
 )
@@ -91,33 +86,48 @@ func (f *Frame) SetHeader(name, value string) {
 
 // Clone returns a deep copy of the frame.
 func (f *Frame) Clone() *Frame {
-	out := &Frame{Command: f.Command}
-	if f.Headers != nil {
-		out.Headers = make(map[string]string, len(f.Headers))
-		for k, v := range f.Headers {
-			out.Headers[k] = v
-		}
-	}
+	out := f.ShallowClone()
 	if f.Body != nil {
 		out.Body = append([]byte(nil), f.Body...)
 	}
 	return out
 }
 
-// String renders the frame for logs (headers sorted, body length only).
-func (f *Frame) String() string {
-	keys := make([]string, 0, len(f.Headers))
-	for k := range f.Headers {
-		keys = append(keys, k)
+// ShallowClone returns a copy of the frame with copied headers and a body
+// shared with the receiver, for paths that rewrite headers on one logical
+// message without duplicating its payload; callers must treat the shared
+// body as immutable. The header map carries slack for the headers such
+// callers typically add. (The broker's fan-out delivery goes further and
+// avoids even the header copy: Encoder.EncodeMessage emits per-peer
+// routing headers straight onto the wire from a shared base frame.)
+func (f *Frame) ShallowClone() *Frame {
+	out := &Frame{Command: f.Command, Body: f.Body}
+	if f.Headers != nil {
+		out.Headers = make(map[string]string, len(f.Headers)+2)
+		for k, v := range f.Headers {
+			out.Headers[k] = v
+		}
 	}
-	sort.Strings(keys)
+	return out
+}
+
+// String renders the frame for logs (headers sorted, body length only).
+// It shares the encoder's sorted-key helper and avoids fmt on the per-
+// header path, since it runs per frame when Logf tracing is enabled.
+func (f *Frame) String() string {
+	keys := sortedHeaderKeys(make([]string, 0, len(f.Headers)), f.Headers, "")
 	var b strings.Builder
 	b.WriteString(f.Command)
 	for _, k := range keys {
-		fmt.Fprintf(&b, " %s=%q", k, f.Headers[k])
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(f.Headers[k]))
 	}
 	if len(f.Body) > 0 {
-		fmt.Fprintf(&b, " body=%dB", len(f.Body))
+		b.WriteString(" body=")
+		b.WriteString(strconv.Itoa(len(f.Body)))
+		b.WriteByte('B')
 	}
 	return b.String()
 }
@@ -130,206 +140,4 @@ func (e *ProtocolError) Error() string { return "stomp: " + e.Msg }
 
 func protoErrorf(format string, args ...any) error {
 	return &ProtocolError{Msg: fmt.Sprintf(format, args...)}
-}
-
-// escapeHeader applies STOMP 1.1 header escaping.
-func escapeHeader(s string) string {
-	if !strings.ContainsAny(s, "\\\n:\r") {
-		return s
-	}
-	var b strings.Builder
-	for i := 0; i < len(s); i++ {
-		switch s[i] {
-		case '\\':
-			b.WriteString(`\\`)
-		case '\n':
-			b.WriteString(`\n`)
-		case '\r':
-			b.WriteString(`\r`)
-		case ':':
-			b.WriteString(`\c`)
-		default:
-			b.WriteByte(s[i])
-		}
-	}
-	return b.String()
-}
-
-// unescapeHeader reverses escapeHeader, rejecting undefined sequences.
-func unescapeHeader(s string) (string, error) {
-	if !strings.ContainsRune(s, '\\') {
-		return s, nil
-	}
-	var b strings.Builder
-	for i := 0; i < len(s); i++ {
-		c := s[i]
-		if c != '\\' {
-			b.WriteByte(c)
-			continue
-		}
-		i++
-		if i >= len(s) {
-			return "", protoErrorf("dangling escape in header %q", s)
-		}
-		switch s[i] {
-		case '\\':
-			b.WriteByte('\\')
-		case 'n':
-			b.WriteByte('\n')
-		case 'r':
-			b.WriteByte('\r')
-		case 'c':
-			b.WriteByte(':')
-		default:
-			return "", protoErrorf("undefined escape \\%c in header %q", s[i], s)
-		}
-	}
-	return b.String(), nil
-}
-
-// WriteFrame encodes a frame to w. A content-length header is always
-// emitted so bodies may contain NUL bytes.
-func WriteFrame(w io.Writer, f *Frame) error {
-	if f.Command == "" {
-		return protoErrorf("cannot write frame with empty command")
-	}
-	var b bytes.Buffer
-	b.WriteString(f.Command)
-	b.WriteByte('\n')
-	keys := make([]string, 0, len(f.Headers))
-	for k := range f.Headers {
-		if k == HdrContentLength {
-			continue // always computed below
-		}
-		keys = append(keys, k)
-	}
-	sort.Strings(keys) // deterministic encoding simplifies testing and debugging
-	for _, k := range keys {
-		b.WriteString(escapeHeader(k))
-		b.WriteByte(':')
-		b.WriteString(escapeHeader(f.Headers[k]))
-		b.WriteByte('\n')
-	}
-	fmt.Fprintf(&b, "%s:%d\n", HdrContentLength, len(f.Body))
-	b.WriteByte('\n')
-	b.Write(f.Body)
-	b.WriteByte(0)
-	_, err := w.Write(b.Bytes())
-	return err
-}
-
-// ReadFrame decodes one frame from r. It skips heart-beat newlines between
-// frames and returns io.EOF at a clean end of stream.
-func ReadFrame(r *bufio.Reader) (*Frame, error) {
-	// Skip inter-frame EOLs (heart-beats).
-	var cmdLine string
-	for {
-		line, err := readLine(r)
-		if err != nil {
-			return nil, err
-		}
-		if line != "" {
-			cmdLine = line
-			break
-		}
-	}
-
-	f := NewFrame(cmdLine)
-	switch f.Command {
-	case CmdConnect, CmdConnected, CmdSend, CmdSubscribe, CmdUnsubscribe,
-		CmdMessage, CmdReceipt, CmdError, CmdDisconnect, CmdAck, CmdNack,
-		CmdBegin, CmdCommit, CmdAbort:
-	default:
-		return nil, protoErrorf("unknown command %q", f.Command)
-	}
-
-	for i := 0; ; i++ {
-		if i > maxHeaders {
-			return nil, protoErrorf("too many headers")
-		}
-		line, err := readLine(r)
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil, io.ErrUnexpectedEOF
-			}
-			return nil, err
-		}
-		if line == "" {
-			break
-		}
-		sep := strings.IndexByte(line, ':')
-		if sep < 0 {
-			return nil, protoErrorf("malformed header line %q", line)
-		}
-		key, err := unescapeHeader(line[:sep])
-		if err != nil {
-			return nil, err
-		}
-		val, err := unescapeHeader(line[sep+1:])
-		if err != nil {
-			return nil, err
-		}
-		// Per spec, the first occurrence of a repeated header wins.
-		if _, dup := f.Headers[key]; !dup {
-			f.Headers[key] = val
-		}
-	}
-
-	if lenStr, ok := f.Headers[HdrContentLength]; ok {
-		n, err := strconv.Atoi(lenStr)
-		if err != nil || n < 0 {
-			return nil, protoErrorf("bad content-length %q", lenStr)
-		}
-		if n > MaxBodyLen {
-			return nil, protoErrorf("body of %d bytes exceeds limit", n)
-		}
-		body := make([]byte, n)
-		if _, err := io.ReadFull(r, body); err != nil {
-			return nil, fmt.Errorf("stomp: short body: %w", err)
-		}
-		terminator, err := r.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("stomp: missing frame terminator: %w", err)
-		}
-		if terminator != 0 {
-			return nil, protoErrorf("frame not NUL-terminated after body")
-		}
-		if n > 0 {
-			f.Body = body
-		}
-		delete(f.Headers, HdrContentLength)
-		return f, nil
-	}
-
-	// No content-length: body runs to the NUL terminator.
-	body, err := r.ReadBytes(0)
-	if err != nil {
-		return nil, fmt.Errorf("stomp: unterminated frame: %w", err)
-	}
-	body = body[:len(body)-1]
-	if len(body) > 0 {
-		f.Body = body
-	}
-	return f, nil
-}
-
-// readLine reads a \n-terminated line, trimming an optional \r, with a
-// length bound.
-func readLine(r *bufio.Reader) (string, error) {
-	line, err := r.ReadString('\n')
-	if err != nil {
-		if errors.Is(err, io.EOF) && line == "" {
-			return "", io.EOF
-		}
-		if errors.Is(err, io.EOF) {
-			return "", io.ErrUnexpectedEOF
-		}
-		return "", err
-	}
-	if len(line) > MaxHeaderLen {
-		return "", protoErrorf("header line exceeds %d bytes", MaxHeaderLen)
-	}
-	line = strings.TrimSuffix(line, "\n")
-	line = strings.TrimSuffix(line, "\r")
-	return line, nil
 }

@@ -119,6 +119,20 @@ func TestReadFrameErrors(t *testing.T) {
 	}
 }
 
+// TestReadFrameUnterminatedBodyBounded: a peer streaming a giant body
+// with no content-length and no NUL terminator must hit MaxBodyLen, not
+// grow the buffer until the process OOMs.
+func TestReadFrameUnterminatedBodyBounded(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("SEND\ndestination:/t\n\n")
+	buf.Write(bytes.Repeat([]byte{'x'}, MaxBodyLen+64*1024))
+	_, err := ReadFrame(bufio.NewReader(&buf))
+	var pe *ProtocolError
+	if !errors.As(err, &pe) || !strings.Contains(pe.Msg, "exceeds limit") {
+		t.Fatalf("err = %v, want body-limit protocol error", err)
+	}
+}
+
 func TestReadFrameCleanEOF(t *testing.T) {
 	_, err := ReadFrame(bufio.NewReader(strings.NewReader("")))
 	if !errors.Is(err, io.EOF) {
@@ -157,6 +171,51 @@ func TestFrameClone(t *testing.T) {
 	c.Body[0] = 'X'
 	if f.Header("k") != "v" || string(f.Body) != "b" {
 		t.Error("Clone shares state")
+	}
+}
+
+func TestFrameShallowClone(t *testing.T) {
+	f := NewFrame(CmdMessage)
+	f.SetHeader("k", "v")
+	f.Body = []byte("shared")
+	c := f.ShallowClone()
+	c.SetHeader("k", "changed")
+	c.SetHeader(HdrSubscription, "sub-1")
+	if f.Header("k") != "v" || f.Header(HdrSubscription) != "" {
+		t.Error("ShallowClone shares headers")
+	}
+	if &c.Body[0] != &f.Body[0] {
+		t.Error("ShallowClone copied the body")
+	}
+}
+
+func TestEncodeMessageRoutingHeaders(t *testing.T) {
+	base := NewFrame(CmdMessage)
+	base.SetHeader(HdrDestination, "/t")
+	base.SetHeader(HdrSubscription, "stale") // must lose to the routed value
+	base.Body = []byte("payload")
+
+	var buf bytes.Buffer
+	var enc Encoder
+	if err := enc.EncodeMessage(&buf, base, "sub:7", "m-3-", 42); err != nil {
+		t.Fatalf("EncodeMessage: %v", err)
+	}
+	back, err := ReadFrame(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if got := back.Header(HdrSubscription); got != "sub:7" {
+		t.Errorf("subscription = %q", got)
+	}
+	if got := back.Header(HdrMessageID); got != "m-3-42" {
+		t.Errorf("message-id = %q", got)
+	}
+	if back.Header(HdrDestination) != "/t" || string(back.Body) != "payload" {
+		t.Errorf("base frame content lost: %v", back)
+	}
+	// The shared base frame must not have been touched.
+	if base.Header(HdrSubscription) != "stale" || len(base.Headers) != 2 {
+		t.Errorf("EncodeMessage mutated the base frame: %v", base)
 	}
 }
 

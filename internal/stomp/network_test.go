@@ -2,6 +2,7 @@ package stomp
 
 import (
 	"errors"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -44,7 +45,9 @@ func (h *echoHandler) OnFrame(sess *Session, f *Frame) error {
 		if subID == "" {
 			return nil
 		}
-		msg := f.Clone()
+		// Broadcast-style re-delivery: the body is shared, only headers
+		// are copied for the routing rewrite.
+		msg := f.ShallowClone()
 		msg.Command = CmdMessage
 		msg.SetHeader(HdrSubscription, subID)
 		msg.SetHeader(HdrMessageID, "m-1")
@@ -207,6 +210,53 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 		// read loop observed the close — good
 	case <-time.After(5 * time.Second):
 		t.Fatal("client did not observe server close")
+	}
+}
+
+// TestBurstOrderingAndDelivery: a burst of SENDs coalesced through the
+// connection writers arrives complete and in order, and the trailing
+// receipt-confirmed SEND (which forces a flush) is processed after all of
+// them.
+func TestBurstOrderingAndDelivery(t *testing.T) {
+	srv := startEchoServer(t, nil)
+	client, err := Dial(srv.Addr(), ClientConfig{Login: "u"})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+
+	const n = 200
+	received := make(chan string, n+1)
+	if _, err := client.Subscribe("/t", "", nil, func(f *Frame) {
+		received <- f.Header("seq")
+	}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := client.Send("/t", map[string]string{"seq": strconv.Itoa(i)}, nil); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	if err := client.SendReceipt("/t", map[string]string{"seq": "last"}, nil, 5*time.Second); err != nil {
+		t.Fatalf("SendReceipt: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case seq := <-received:
+			if seq != strconv.Itoa(i) {
+				t.Fatalf("message %d has seq %q", i, seq)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("burst stalled after %d messages", i)
+		}
+	}
+	select {
+	case seq := <-received:
+		if seq != "last" {
+			t.Fatalf("trailing message has seq %q", seq)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("receipt-confirmed send not delivered")
 	}
 }
 

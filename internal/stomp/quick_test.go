@@ -72,6 +72,63 @@ func TestQuickFrameRoundTrip(t *testing.T) {
 	}
 }
 
+// framesEquivalent reports whether two frames have equal command, headers
+// and body.
+func framesEquivalent(a, b *Frame) bool {
+	if a.Command != b.Command || !bytes.Equal(a.Body, b.Body) || len(a.Headers) != len(b.Headers) {
+		return false
+	}
+	for k, v := range a.Headers {
+		if b.Headers[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickEncoderDecoderAgree: on the random frame corpus, the reusable
+// Encoder emits bytes identical to WriteFrame, and the reusable Decoder
+// and ReadFrame decode those bytes to the same frame — the original. The
+// scratch-buffer reuse across iterations is part of what is under test.
+func TestQuickEncoderDecoderAgree(t *testing.T) {
+	var enc Encoder
+	prop := func(qf quickFrame) bool {
+		var legacy, pooled bytes.Buffer
+		if err := WriteFrame(&legacy, qf.F); err != nil {
+			return false
+		}
+		if err := enc.Encode(&pooled, qf.F); err != nil {
+			return false
+		}
+		if !bytes.Equal(legacy.Bytes(), pooled.Bytes()) {
+			return false
+		}
+		dec := NewDecoder(bytes.NewReader(pooled.Bytes()))
+		fromDecoder, err := dec.Decode()
+		if err != nil {
+			return false
+		}
+		fromReadFrame, err := ReadFrame(bufio.NewReader(&legacy))
+		if err != nil {
+			return false
+		}
+		return framesEquivalent(qf.F, fromDecoder) && framesEquivalent(fromDecoder, fromReadFrame)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// escapeHeader/unescapeHeader adapt the production byte-slice escaping
+// helpers to strings for the property tests.
+func escapeHeader(s string) string {
+	return string(appendEscapedHeader(nil, s))
+}
+
+func unescapeHeader(s string) (string, error) {
+	return unescapeHeaderBytes([]byte(s))
+}
+
 // TestQuickHeaderEscapeRoundTrip: escaping then unescaping is the identity
 // on arbitrary strings.
 func TestQuickHeaderEscapeRoundTrip(t *testing.T) {

@@ -1,7 +1,6 @@
 package stomp
 
 import (
-	"bufio"
 	"crypto/tls"
 	"errors"
 	"fmt"
@@ -29,15 +28,18 @@ type SessionHandler interface {
 	OnDisconnect(sess *Session)
 }
 
-// Session is one server-side client connection.
+// Session is one server-side client connection. Outbound frames pass
+// through a write-coalescing writer goroutine: MESSAGE bursts are encoded
+// back-to-back and flushed once per batch, while receipts, errors and
+// handshake responses flush immediately.
 type Session struct {
 	id    uint64
 	login string
 
 	conn net.Conn
+	fw   *frameWriter
 
-	writeMu sync.Mutex
-	closed  atomic.Bool
+	closed atomic.Bool
 }
 
 // ID returns the server-unique session id.
@@ -46,14 +48,27 @@ func (s *Session) ID() uint64 { return s.id }
 // Login returns the login (principal) name presented at CONNECT.
 func (s *Session) Login() string { return s.login }
 
-// Send writes a frame to the client. It is safe for concurrent use.
+// Send queues a frame for the client. It is safe for concurrent use; a
+// nil return means the frame was accepted for delivery, not that it
+// reached the peer (clients needing confirmation request a receipt).
 func (s *Session) Send(f *Frame) error {
 	if s.closed.Load() {
 		return net.ErrClosed
 	}
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	return WriteFrame(s.conn, f)
+	return s.fw.send(outFrame{f: f, flush: frameNeedsFlush(f)})
+}
+
+// SendMessage queues a broadcast MESSAGE frame sharing base's headers and
+// body, with the subscription and message-id (idPrefix + decimal seq)
+// routing headers supplied per delivery and emitted only on the wire.
+// base must be treated as immutable once first passed here; it is never
+// cloned. This is the broker's fan-out path: one marshalled frame, N
+// zero-copy deliveries, one coalesced flush.
+func (s *Session) SendMessage(base *Frame, subscription, idPrefix string, seq uint64) error {
+	if s.closed.Load() {
+		return net.ErrClosed
+	}
+	return s.fw.send(outFrame{f: base, sub: subscription, idPrefix: idPrefix, idSeq: seq})
 }
 
 // SendError sends an ERROR frame with the given message; the STOMP spec
@@ -65,11 +80,14 @@ func (s *Session) SendError(msg string, body string) {
 	_ = s.Send(f) // connection is being torn down; nothing to do on failure
 }
 
-// Close terminates the session's connection.
+// Close terminates the session's connection, draining queued frames (an
+// ERROR or RECEIPT enqueued just before Close must reach the peer) under
+// the writer's close deadline so a stalled peer cannot wedge teardown.
 func (s *Session) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	_ = s.fw.close()
 	return s.conn.Close()
 }
 
@@ -171,6 +189,10 @@ func (s *Server) acceptLoop() {
 		}
 		s.nextID++
 		sess := &Session{id: s.nextID, conn: conn}
+		// A write error kills the connection so the session's read loop
+		// unblocks; the writer goroutine must not wait on Session.Close
+		// (which waits on it in turn).
+		sess.fw = newFrameWriter(conn, func(error) { _ = conn.Close() })
 		s.sessions[sess.id] = sess
 		s.mu.Unlock()
 
@@ -188,10 +210,10 @@ func (s *Server) serveSession(sess *Session) {
 		s.mu.Unlock()
 	}()
 
-	r := bufio.NewReaderSize(sess.conn, 32*1024)
+	dec := NewDecoder(sess.conn)
 
 	// Handshake: first frame must be CONNECT.
-	first, err := ReadFrame(r)
+	first, err := dec.Decode()
 	if err != nil {
 		return
 	}
@@ -221,7 +243,7 @@ func (s *Server) serveSession(sess *Session) {
 	}
 
 	for {
-		f, err := ReadFrame(r)
+		f, err := dec.Decode()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !isClosedConn(err) {
 				var pe *ProtocolError

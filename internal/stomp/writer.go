@@ -1,0 +1,198 @@
+package stomp
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// closeFlushTimeout bounds the final drain of a connection's write queue
+// at close: a peer that stopped reading must not wedge teardown behind a
+// full TCP buffer. close() arms it as a write deadline on the connection.
+const closeFlushTimeout = 2 * time.Second
+
+// writerQueueLen is the per-connection send queue length. A full queue
+// blocks senders, propagating back-pressure to the goroutines producing
+// frames (typically a peer connection's read loop).
+const writerQueueLen = 128
+
+// outFrame pairs a queued frame with its flush class. For broadcast
+// MESSAGE sends, sub/idPrefix/seq carry the per-delivery routing headers
+// so the shared base frame is never cloned; the encoder emits them
+// in-line.
+type outFrame struct {
+	f     *Frame
+	sub   string // non-empty: encode as MESSAGE with routing headers
+	idSeq uint64
+
+	idPrefix string
+	flush    bool
+}
+
+// frameWriter is the write-coalescing frame sink of one connection. Sends
+// enqueue frames; a single writer goroutine encodes them with a reused
+// Encoder into a buffered writer and flushes once per drained batch, so N
+// MESSAGE frames to a busy subscriber cost ~1 syscall instead of N.
+// Frames whose flush flag is set (receipts, ERROR, handshake and other
+// control traffic) force an immediate flush, so request/response latency
+// is never traded for batching; ordering is preserved unconditionally by
+// the single queue.
+//
+// The first write error is sticky: it is reported once to onError (which
+// should close the connection so the read side unblocks too), later sends
+// fail fast with it, and already-queued frames are discarded.
+type frameWriter struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	enc  Encoder
+
+	ch   chan outFrame
+	quit chan struct{} // closed by close() under mu; run() drains and exits
+	done chan struct{} // closed when the writer goroutine exits
+
+	// mu fences send against close: senders hold the read side across
+	// the enqueue, so once close() holds the write side and sets closed,
+	// no frame can slip into ch after run()'s final drain — an accepted
+	// send is always written (or discarded visibly via the sticky error).
+	mu     sync.RWMutex
+	closed bool
+
+	err     atomic.Pointer[error]
+	onError func(error)
+}
+
+// newFrameWriter starts the writer goroutine for conn.
+func newFrameWriter(conn net.Conn, onError func(error)) *frameWriter {
+	fw := &frameWriter{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 32*1024),
+		ch:      make(chan outFrame, writerQueueLen),
+		quit:    make(chan struct{}),
+		done:    make(chan struct{}),
+		onError: onError,
+	}
+	go fw.run()
+	return fw
+}
+
+// send enqueues a frame. It blocks while the queue is full and fails fast
+// after a write error or close. A nil return means the frame was queued,
+// not that it reached the peer; callers needing confirmation use receipts.
+//
+// A send blocked on a full queue holds fw.mu's read side, which close()
+// needs for its write side — that is safe, not a deadlock: the writer
+// goroutine keeps draining until quit is closed, which close() can only
+// do after this send completes.
+func (fw *frameWriter) send(of outFrame) error {
+	if ep := fw.err.Load(); ep != nil {
+		return *ep
+	}
+	fw.mu.RLock()
+	defer fw.mu.RUnlock()
+	if fw.closed {
+		return net.ErrClosed
+	}
+	fw.ch <- of
+	return nil
+}
+
+// close stops accepting frames, waits for the queue to drain and flush,
+// and returns the sticky write error, if any. The drain is bounded by a
+// write deadline armed here (closeFlushTimeout), so a peer that stopped
+// reading cannot wedge teardown. Idempotent and safe from any goroutine
+// except the writer's own.
+func (fw *frameWriter) close() error {
+	fw.mu.Lock()
+	if !fw.closed {
+		fw.closed = true
+		_ = fw.conn.SetWriteDeadline(time.Now().Add(closeFlushTimeout))
+		close(fw.quit)
+	}
+	fw.mu.Unlock()
+	<-fw.done
+	if ep := fw.err.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}
+
+func (fw *frameWriter) run() {
+	defer close(fw.done)
+	for {
+		select {
+		case of := <-fw.ch:
+			fw.write(of)
+			fw.drainQueued()
+			fw.flush()
+		case <-fw.quit:
+			fw.drainQueued()
+			fw.flush()
+			return
+		}
+	}
+}
+
+// drainQueued writes every frame already sitting in the queue without
+// blocking for more; the caller flushes once afterwards. This is the
+// coalescing step: everything queued behind the frame that woke the
+// writer shares its flush.
+func (fw *frameWriter) drainQueued() {
+	for {
+		select {
+		case of := <-fw.ch:
+			fw.write(of)
+		default:
+			return
+		}
+	}
+}
+
+func (fw *frameWriter) write(of outFrame) {
+	if fw.err.Load() != nil {
+		return // connection is dead; discard
+	}
+	var err error
+	if of.sub != "" {
+		err = fw.enc.EncodeMessage(fw.bw, of.f, of.sub, of.idPrefix, of.idSeq)
+	} else {
+		err = fw.enc.Encode(fw.bw, of.f)
+	}
+	if err != nil {
+		fw.fail(err)
+		return
+	}
+	if of.flush {
+		fw.flush()
+	}
+}
+
+func (fw *frameWriter) flush() {
+	if fw.err.Load() != nil {
+		return
+	}
+	if err := fw.bw.Flush(); err != nil {
+		fw.fail(err)
+	}
+}
+
+func (fw *frameWriter) fail(err error) {
+	fw.err.Store(&err)
+	if fw.onError != nil {
+		fw.onError(err)
+	}
+}
+
+// frameNeedsFlush classifies outbound frames for the coalescing writer:
+// bulk MESSAGE/SEND traffic is flushed once per drained batch, while
+// control frames — receipts, errors, handshakes, and anything carrying a
+// receipt request — flush immediately so a peer blocked on a response
+// never waits on batching.
+func frameNeedsFlush(f *Frame) bool {
+	switch f.Command {
+	case CmdMessage, CmdSend:
+		return f.Headers[HdrReceipt] != ""
+	}
+	return true
+}
