@@ -1,0 +1,230 @@
+package broker_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"safeweb/internal/broker"
+	"safeweb/internal/engine"
+	"safeweb/internal/event"
+	"safeweb/internal/label"
+	"safeweb/internal/stomp"
+)
+
+// TestChaosShardedConsumers hammers the networked broker with everything
+// the sharded consumer path must survive at once: a consumer engine whose
+// bus spreads subscriptions across several STOMP connections, concurrent
+// publishers, subscription churn from short-lived clients, and mid-stream
+// connection drops (both abrupt TCP closes and graceful disconnects).
+// Under -race it doubles as the data-race check for the per-shard read
+// loops feeding the engine's value-typed queues.
+//
+// The invariant: every subscription that survives the chaos — here, the
+// engine's subscriptions, whose connections are never dropped — receives
+// every published event exactly once, in per-subscription order, and the
+// engine then tears down cleanly.
+func TestChaosShardedConsumers(t *testing.T) {
+	const (
+		shards     = 3
+		fanout     = 6
+		publishers = 4
+		perPub     = 250
+		churners   = 3
+	)
+	total := publishers * perPub
+
+	policy := label.NewPolicy()
+	policy.Grant("consumer", label.Clearance, label.MustParsePattern("label:conf:chaos.test/*"))
+	policy.Grant("churn", label.Clearance, label.MustParsePattern("label:conf:chaos.test/*"))
+	br := broker.New(policy)
+	defer br.Close()
+	srv, err := broker.NewServer("127.0.0.1:0", br, broker.ServerConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+
+	// onError tolerates the errors churn naturally produces — connection
+	// drops racing in-flight frames. Anything else fails the test.
+	onError := func(err error) {
+		var pe *stomp.ProtocolError
+		if errors.Is(err, net.ErrClosed) || errors.As(err, &pe) {
+			t.Errorf("unexpected bus error: %v", err)
+			return
+		}
+		// read EOF / reset-by-peer after a drop: expected background noise
+	}
+
+	eng, err := engine.New(engine.Config{
+		Policy: policy,
+		Bus: func(principal string) (broker.Bus, error) {
+			return broker.DialBus(srv.Addr(), broker.ClientConfig{
+				Login:   principal,
+				Shards:  shards,
+				OnError: onError,
+			})
+		},
+		QueueSize: 256,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+
+	// Each surviving subscription records the sequence numbers it sees.
+	// Subscriptions run sequentially on their own engine worker, so the
+	// slices need no locks; engine.Stop's wait establishes the
+	// happens-before for the final read.
+	seen := make([][]int, fanout)
+	for i := range seen {
+		seen[i] = make([]int, 0, total)
+	}
+	err = eng.AddUnit(chaosUnit{name: "consumer", init: func(ctx *engine.InitContext) error {
+		for i := 0; i < fanout; i++ {
+			i := i
+			if err := ctx.Subscribe("/chaos/out", "", func(_ *engine.Context, ev *event.Event) error {
+				seq, err := strconv.Atoi(ev.Attr("seq"))
+				if err != nil {
+					return fmt.Errorf("bad seq attr %q: %v", ev.Attr("seq"), err)
+				}
+				seen[i] = append(seen[i], seq)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatalf("AddUnit: %v", err)
+	}
+
+	stopChaos := make(chan struct{})
+	var chaosWG sync.WaitGroup
+
+	// Churners: short-lived sharded clients that subscribe, receive a
+	// little, unsubscribe or vanish. Odd iterations drop the TCP
+	// connections abruptly (stomp.Client.Close sends no DISCONNECT);
+	// even ones disconnect gracefully mid-stream.
+	for c := 0; c < churners; c++ {
+		chaosWG.Add(1)
+		go func(c int) {
+			defer chaosWG.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for iter := 0; ; iter++ {
+				select {
+				case <-stopChaos:
+					return
+				default:
+				}
+				cl, err := broker.DialBus(srv.Addr(), broker.ClientConfig{
+					Login:   "churn",
+					Shards:  1 + iter%3,
+					OnError: onError,
+				})
+				if err != nil {
+					t.Errorf("churner %d dial: %v", c, err)
+					return
+				}
+				var ids []string
+				for s := 0; s < 1+rng.Intn(3); s++ {
+					id, err := cl.Subscribe("/chaos/out", "", func(*event.Event) {})
+					if err != nil {
+						// The broker may be shutting the churner's conn
+						// down already; only a pre-drop failure is a bug.
+						break
+					}
+					ids = append(ids, id)
+				}
+				time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+				if iter%2 == 0 {
+					for _, id := range ids {
+						_ = cl.Unsubscribe(id)
+					}
+					_ = cl.Close() // graceful DISCONNECT mid-stream
+				} else {
+					// Abrupt mid-stream connection drop: subscriptions die
+					// with the TCP connections; the server must clean up.
+					abruptClose(cl)
+				}
+			}
+		}(c)
+	}
+
+	// Publishers: concurrent labelled publishes with globally unique
+	// sequence numbers.
+	var seq atomic.Int64
+	lbl := label.Conf("chaos.test/records")
+	var pubWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			for n := 0; n < perPub; n++ {
+				s := seq.Add(1) - 1
+				ev := event.New("/chaos/out", map[string]string{"seq": strconv.FormatInt(s, 10)}, lbl)
+				if err := br.Publish("consumer", ev); err != nil {
+					t.Errorf("Publish seq %d: %v", s, err)
+					return
+				}
+			}
+		}()
+	}
+	pubWG.Wait()
+
+	// Everything is published; wait for the surviving subscriptions to
+	// drain the wire, then stop the chaos and the engine.
+	deadline := time.Now().Add(2 * time.Minute)
+	for eng.Stats().EventsProcessed < uint64(total*fanout) {
+		if time.Now().After(deadline) {
+			t.Fatalf("processed %d of %d events", eng.Stats().EventsProcessed, total*fanout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stopChaos)
+	chaosWG.Wait()
+	eng.Stop() // clean teardown: closes shard conns, drains queues, joins workers
+
+	if got := eng.Stats().CallbackErrors; got != 0 {
+		t.Errorf("%d callback errors", got)
+	}
+	if eng.Stats().EventsProcessed != uint64(total*fanout) {
+		t.Errorf("processed %d events after Stop, want exactly %d (duplicates?)",
+			eng.Stats().EventsProcessed, total*fanout)
+	}
+	for i, got := range seen {
+		if len(got) != total {
+			t.Errorf("subscription %d: %d deliveries, want %d", i, len(got), total)
+			continue
+		}
+		counts := make(map[int]int, total)
+		for _, s := range got {
+			counts[s]++
+		}
+		for s := 0; s < total; s++ {
+			if counts[s] != 1 {
+				t.Errorf("subscription %d: seq %d delivered %d times, want exactly once", i, s, counts[s])
+			}
+		}
+	}
+}
+
+// abruptClose tears down a sharded client's TCP connections without a
+// DISCONNECT handshake, simulating a consumer crash mid-stream.
+func abruptClose(cl *broker.Client) { cl.AbruptClose() }
+
+// chaosUnit adapts a name and init function to engine.Unit.
+type chaosUnit struct {
+	name string
+	init func(ctx *engine.InitContext) error
+}
+
+func (u chaosUnit) Name() string                       { return u.name }
+func (u chaosUnit) Init(ctx *engine.InitContext) error { return u.init(ctx) }

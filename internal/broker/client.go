@@ -2,6 +2,9 @@ package broker
 
 import (
 	"crypto/tls"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"safeweb/internal/event"
@@ -20,8 +23,20 @@ type ClientConfig struct {
 	// fire-and-forget SENDs.
 	SendTimeout time.Duration
 	// OnError receives asynchronous errors (decode failures, server
-	// errors); nil drops them.
+	// errors); nil drops them. With Shards > 1 it is invoked from every
+	// shard's read goroutine, possibly concurrently, so it must be safe
+	// for concurrent use.
 	OnError func(error)
+	// Shards is the number of STOMP connections this client spreads its
+	// subscriptions across; 0 or 1 means a single connection (the default,
+	// wire-identical to the pre-sharding client). Subscriptions are placed
+	// round-robin and each lives wholly on one connection, so wire bytes
+	// and per-subscription delivery order are unchanged; publishes always
+	// travel on the first connection, preserving publish order. Sharding
+	// pays off for subscription-heavy consumers: frame decoding spreads
+	// across per-connection read loops and broker-side encoding across
+	// per-session coalescing writers.
+	Shards int
 }
 
 // Client is a Bus implementation over a remote STOMP broker. It lets an
@@ -29,34 +44,62 @@ type ClientConfig struct {
 // zone from the broker, as in the paper's ECRIC deployment where the event
 // broker is a separate service inside the Intranet (Fig. 4).
 type Client struct {
-	cfg   ClientConfig
-	stomp *stomp.Client
+	cfg    ClientConfig
+	shards []*clientShard
+	rr     atomic.Uint64 // round-robin subscription placement
 
-	// labelCache memoises label-header parses across deliveries. All
-	// subscription handlers run on the connection's read goroutine, so
-	// the cache is goroutine-confined.
-	labelCache event.LabelCache
+	mu   sync.Mutex
+	subs map[string]shardSub // qualified id -> placement
+}
+
+// clientShard is one STOMP connection of a sharded client, with the
+// decode memos confined to its read loop.
+type clientShard struct {
+	conn *stomp.Client
+
+	// cache memoises label-header parses and the topic string across this
+	// shard's deliveries. All of the shard's subscription handlers run on
+	// its connection read goroutine, so the cache is goroutine-confined.
+	cache event.DecodeCache
+}
+
+// shardSub records where a subscription lives so Unsubscribe can route to
+// the right connection.
+type shardSub struct {
+	shard int
+	raw   string
 }
 
 var _ Bus = (*Client)(nil)
 
-// DialBus connects to a broker server.
+// DialBus connects to a broker server, establishing cfg.Shards STOMP
+// connections (one by default).
 func DialBus(addr string, cfg ClientConfig) (*Client, error) {
-	c := &Client{cfg: cfg}
-	sc, err := stomp.Dial(addr, stomp.ClientConfig{
-		Login:    cfg.Login,
-		Passcode: cfg.Passcode,
-		TLS:      cfg.TLS,
-		OnError:  cfg.OnError,
-	})
-	if err != nil {
-		return nil, err
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
 	}
-	c.stomp = sc
+	c := &Client{cfg: cfg, subs: make(map[string]shardSub)}
+	for i := 0; i < n; i++ {
+		sc, err := stomp.Dial(addr, stomp.ClientConfig{
+			Login:    cfg.Login,
+			Passcode: cfg.Passcode,
+			TLS:      cfg.TLS,
+			OnError:  cfg.OnError,
+		})
+		if err != nil {
+			for _, sh := range c.shards {
+				_ = sh.conn.Close()
+			}
+			return nil, err
+		}
+		c.shards = append(c.shards, &clientShard{conn: sc})
+	}
 	return c, nil
 }
 
-// Publish implements Bus.
+// Publish implements Bus. Publishes always use the first connection so
+// that events published by one client reach the broker in publish order.
 func (c *Client) Publish(ev *event.Event) error {
 	headers, body, err := event.MarshalHeaders(ev)
 	if err != nil {
@@ -65,15 +108,23 @@ func (c *Client) Publish(ev *event.Event) error {
 	dest := headers[event.HeaderDestination]
 	delete(headers, event.HeaderDestination)
 	if c.cfg.SendTimeout > 0 {
-		return c.stomp.SendReceipt(dest, headers, body, c.cfg.SendTimeout)
+		return c.shards[0].conn.SendReceipt(dest, headers, body, c.cfg.SendTimeout)
 	}
-	return c.stomp.Send(dest, headers, body)
+	return c.shards[0].conn.Send(dest, headers, body)
 }
 
-// Subscribe implements Bus.
+// Subscribe implements Bus. The subscription is placed on one connection
+// (round-robin across shards) and its deliveries are decoded map-free:
+// the STOMP frame view feeds event.UnmarshalView in a single pass, with
+// body ownership handed to the event.
 func (c *Client) Subscribe(topic, sel string, handler Handler) (string, error) {
-	return c.stomp.Subscribe(topic, sel, nil, func(f *stomp.Frame) {
-		ev, err := event.UnmarshalHeadersCached(f.Headers, f.Body, &c.labelCache)
+	idx := 0
+	if len(c.shards) > 1 {
+		idx = int((c.rr.Add(1) - 1) % uint64(len(c.shards)))
+	}
+	sh := c.shards[idx]
+	raw, err := sh.conn.SubscribeView(topic, sel, nil, func(v *stomp.FrameView) {
+		ev, err := event.UnmarshalView(&v.Headers, v.Body, &sh.cache)
 		if err != nil {
 			if c.cfg.OnError != nil {
 				c.cfg.OnError(err)
@@ -82,10 +133,50 @@ func (c *Client) Subscribe(topic, sel string, handler Handler) (string, error) {
 		}
 		handler(ev)
 	})
+	if err != nil {
+		return "", err
+	}
+	id := raw
+	if len(c.shards) > 1 {
+		// Connection-local ids ("sub-1") repeat across shards; qualify.
+		id = "s" + strconv.Itoa(idx) + ":" + raw
+	}
+	c.mu.Lock()
+	c.subs[id] = shardSub{shard: idx, raw: raw}
+	c.mu.Unlock()
+	return id, nil
 }
 
 // Unsubscribe implements Bus.
-func (c *Client) Unsubscribe(id string) error { return c.stomp.Unsubscribe(id) }
+func (c *Client) Unsubscribe(id string) error {
+	c.mu.Lock()
+	ref, ok := c.subs[id]
+	delete(c.subs, id)
+	c.mu.Unlock()
+	if !ok {
+		// Unknown id: pass through on the first connection, preserving the
+		// single-connection behaviour for ids this client did not mint.
+		return c.shards[0].conn.Unsubscribe(id)
+	}
+	return c.shards[ref.shard].conn.Unsubscribe(ref.raw)
+}
 
-// Close implements Bus with a graceful disconnect.
-func (c *Client) Close() error { return c.stomp.Disconnect(5 * time.Second) }
+// Close implements Bus with a graceful disconnect of every shard.
+func (c *Client) Close() error {
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, sh := range c.shards {
+		wg.Add(1)
+		go func(i int, sh *clientShard) {
+			defer wg.Done()
+			errs[i] = sh.conn.Disconnect(5 * time.Second)
+		}(i, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,5 +1,14 @@
 package broker
 
+// AbruptClose tears down every shard connection without a DISCONNECT
+// handshake — the chaos test's stand-in for a consumer crashing
+// mid-stream.
+func (c *Client) AbruptClose() {
+	for _, sh := range c.shards {
+		_ = sh.conn.Close()
+	}
+}
+
 // subsSnapshot exposes the current subscription list for tests.
 func (b *Broker) subsSnapshot() []*Subscription {
 	b.mu.RLock()

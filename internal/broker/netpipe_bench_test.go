@@ -30,8 +30,18 @@ func (u pipeUnit) Init(ctx *engine.InitContext) error { return u.init(ctx) }
 // the consumer, so the benchmark exercises STOMP framing, per-connection
 // writes and engine dispatch — everything between two networked units.
 func BenchmarkNetworkPipeline(b *testing.B) {
-	for _, fanout := range []int{1, 10, 100} {
-		b.Run(fmt.Sprintf("fanout=%d", fanout), func(b *testing.B) {
+	for _, bc := range []struct{ fanout, shards int }{
+		{1, 1}, {10, 1}, {100, 1}, {100, 4},
+	} {
+		fanout, shards := bc.fanout, bc.shards
+		name := fmt.Sprintf("fanout=%d", fanout)
+		if shards > 1 {
+			// The sharded variant spreads the consumer's subscriptions
+			// over several STOMP connections; shards=1 keeps the
+			// historical single-connection series comparable.
+			name += fmt.Sprintf("/shards=%d", shards)
+		}
+		b.Run(name, func(b *testing.B) {
 			policy := label.NewPolicy()
 			policy.Grant("consumer", label.Clearance,
 				label.MustParsePattern("label:conf:ecric.org.uk/*"))
@@ -45,12 +55,13 @@ func BenchmarkNetworkPipeline(b *testing.B) {
 			}
 			defer srv.Close()
 
-			newEngine := func() *engine.Engine {
+			newEngine := func(busShards int) *engine.Engine {
 				e, err := engine.New(engine.Config{
 					Policy: policy,
 					Bus: func(principal string) (broker.Bus, error) {
 						return broker.DialBus(srv.Addr(), broker.ClientConfig{
 							Login:   principal,
+							Shards:  busShards,
 							OnError: func(err error) { b.Logf("bus error: %v", err) },
 						})
 					},
@@ -62,9 +73,9 @@ func BenchmarkNetworkPipeline(b *testing.B) {
 				}
 				return e
 			}
-			producer := newEngine()
+			producer := newEngine(1)
 			defer producer.Stop()
-			consumer := newEngine()
+			consumer := newEngine(shards)
 			defer consumer.Stop()
 
 			payload := []byte(`{"patient_id": 33812769, "type": "cancer", "summary": "report"}`)

@@ -54,9 +54,10 @@ type serverSession struct {
 	// correctness never depends on a hit.
 	lastFrame atomic.Pointer[deliveryFrame]
 
-	// labelCache memoises label-header parses for this session's inbound
-	// SENDs; OnFrame runs on the session read goroutine only.
-	labelCache event.LabelCache
+	// decCache memoises label-header parses and the destination string
+	// for this session's inbound SENDs; OnFrameView runs on the session
+	// read goroutine only.
+	decCache event.DecodeCache
 }
 
 // deliveryFrame pairs a delivered event with the base MESSAGE frame built
@@ -125,8 +126,18 @@ func (s *Server) OnDisconnect(sess *stomp.Session) {
 	}
 }
 
-// OnFrame implements stomp.SessionHandler.
+// OnFrame implements stomp.SessionHandler. The stomp server prefers the
+// OnFrameView fast path and only reaches this adapter through callers that
+// hold a materialised frame.
 func (s *Server) OnFrame(sess *stomp.Session, f *stomp.Frame) error {
+	return s.OnFrameView(sess, stomp.ViewFromFrame(f))
+}
+
+// OnFrameView implements stomp.FrameViewHandler: the map-free inbound
+// path. SEND frames — the hot path — go straight from the decoder's
+// header view to an event in one pass (event.UnmarshalView); control
+// frames pull the few headers they need as owned strings.
+func (s *Server) OnFrameView(sess *stomp.Session, v *stomp.FrameView) error {
 	s.mu.Lock()
 	ss := s.sessions[sess.ID()]
 	s.mu.Unlock()
@@ -134,21 +145,21 @@ func (s *Server) OnFrame(sess *stomp.Session, f *stomp.Frame) error {
 		return fmt.Errorf("broker: no session state for %d", sess.ID())
 	}
 
-	switch f.Command {
+	switch v.Command {
 	case stomp.CmdSend:
-		ev, err := event.UnmarshalHeadersCached(f.Headers, f.Body, &ss.labelCache)
+		ev, err := event.UnmarshalView(&v.Headers, v.Body, &ss.decCache)
 		if err != nil {
 			return err
 		}
 		return s.broker.Publish(sess.Login(), ev)
 
 	case stomp.CmdSubscribe:
-		clientID := f.Header(stomp.HdrID)
+		clientID := v.Headers.Header(stomp.HdrID)
 		if clientID == "" {
 			return fmt.Errorf("broker: SUBSCRIBE without id header")
 		}
-		topic := f.Header(stomp.HdrDestination)
-		sel := f.Header(stomp.HdrSelector)
+		topic := v.Headers.Header(stomp.HdrDestination)
+		sel := v.Headers.Header(stomp.HdrSelector)
 		sub, err := s.broker.Subscribe(sess.Login(), topic, sel, func(ev *event.Event) {
 			s.deliver(ss, clientID, ev)
 		})
@@ -161,7 +172,7 @@ func (s *Server) OnFrame(sess *stomp.Session, f *stomp.Frame) error {
 		return nil
 
 	case stomp.CmdUnsubscribe:
-		clientID := f.Header(stomp.HdrID)
+		clientID := v.Headers.Header(stomp.HdrID)
 		s.mu.Lock()
 		sub := ss.subs[clientID]
 		delete(ss.subs, clientID)
@@ -174,7 +185,7 @@ func (s *Server) OnFrame(sess *stomp.Session, f *stomp.Frame) error {
 		return nil
 
 	default:
-		return fmt.Errorf("broker: unsupported command %s", f.Command)
+		return fmt.Errorf("broker: unsupported command %s", v.Command)
 	}
 }
 

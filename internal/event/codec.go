@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"safeweb/internal/label"
+	"safeweb/internal/stomp"
 )
 
 // Wire-format header names. The paper encodes labels "as event headers with
@@ -42,16 +43,29 @@ func MarshalHeaders(e *Event) (map[string]string, []byte, error) {
 	return headers, e.Body, nil
 }
 
+// skippedHeaders is the single source of truth for STOMP headers that are
+// transport metadata rather than event attributes. Both unmarshal paths —
+// the legacy map walk and the single-pass view walk — consult this table,
+// so they cannot silently diverge when a header is added.
+var skippedHeaders = map[string]struct{}{
+	HeaderDestination: {}, HeaderLabels: {}, HeaderClearance: {},
+	"subscription": {}, "message-id": {}, "content-length": {},
+	"receipt": {}, "receipt-id": {}, "id": {}, "ack": {},
+	"selector": {}, "transaction": {},
+}
+
 // skippedHeader reports whether a STOMP header is transport metadata
 // rather than an event attribute.
 func skippedHeader(k string) bool {
-	switch k {
-	case HeaderDestination, HeaderLabels, HeaderClearance,
-		"subscription", "message-id", "content-length", "receipt",
-		"receipt-id", "id", "ack", "selector", "transaction":
-		return true
-	}
-	return false
+	_, ok := skippedHeaders[k]
+	return ok
+}
+
+// skippedHeaderBytes is skippedHeader for keys still in wire-byte form
+// (the map index elides the string conversion).
+func skippedHeaderBytes(k []byte) bool {
+	_, ok := skippedHeaders[string(k)]
+	return ok
 }
 
 // LabelCache memoises the most recent label-header parse. Wire traffic
@@ -117,6 +131,145 @@ func UnmarshalHeadersCached(headers map[string]string, body []byte, cache *Label
 			continue
 		}
 		e.Attrs[k] = v
+	}
+	if len(body) > 0 {
+		e.Body = body
+	}
+	return e, nil
+}
+
+// DecodeCache memoises per-read-loop decode state for the map-free view
+// path: the most recent label-header parse (label sets are immutable and
+// wire traffic repeats one set for long runs) and the most recent topic
+// string (fan-out consumers see the same destination on every frame). Like
+// LabelCache, a DecodeCache must be confined to one goroutine — each
+// connection read loop owns one. A nil *DecodeCache is valid and simply
+// never hits.
+type DecodeCache struct {
+	labels LabelCache
+	topic  string
+	keys   map[string]string
+}
+
+// maxCachedAttrKeys bounds the attribute-key intern table: a peer
+// streaming unbounded distinct keys must not grow the cache forever.
+// Beyond the cap, unseen keys simply allocate per frame again.
+const maxCachedAttrKeys = 256
+
+// attrKey returns an owned string for an attribute key given as wire
+// bytes. Connections repeat the same few attribute keys on essentially
+// every frame, so the interned copy makes the steady-state key cost zero.
+func (c *DecodeCache) attrKey(b []byte) string {
+	if c == nil {
+		return string(b)
+	}
+	if k, ok := c.keys[string(b)]; ok { // conversion elided
+		return k
+	}
+	k := string(b)
+	if len(c.keys) < maxCachedAttrKeys {
+		if c.keys == nil {
+			c.keys = make(map[string]string)
+		}
+		c.keys[k] = k
+	}
+	return k
+}
+
+// parseLabels parses a label header given as wire bytes, consulting and
+// updating the memo. The bytes are not retained.
+func (c *DecodeCache) parseLabels(hdr []byte) (label.Set, error) {
+	if c != nil && c.labels.set != nil && string(hdr) == c.labels.hdr {
+		return c.labels.set, nil
+	}
+	s := string(hdr)
+	set, err := label.ParseSet(s)
+	if err != nil {
+		return nil, err
+	}
+	if c != nil && set != nil {
+		c.labels.hdr, c.labels.set = s, set
+	}
+	return set, nil
+}
+
+// topicString returns an owned string for a destination header given as
+// wire bytes, reusing the memoised copy when the topic repeats.
+func (c *DecodeCache) topicString(b []byte) string {
+	if c != nil && string(b) == c.topic && c.topic != "" {
+		return c.topic
+	}
+	t := string(b)
+	if c != nil {
+		c.topic = t
+	}
+	return t
+}
+
+// addWireAttr records one attribute decoded off the wire: the map is
+// created lazily with the given size hint and repeated keys keep the
+// first occurrence, matching the map-materialisation semantics. k must be
+// an owned string; vb is copied.
+func (e *Event) addWireAttr(k string, vb []byte, hint int) {
+	if e.Attrs == nil {
+		e.Attrs = make(map[string]string, hint)
+	}
+	if _, dup := e.Attrs[k]; !dup {
+		e.Attrs[k] = string(vb)
+	}
+}
+
+// UnmarshalView reconstructs an event from a decoded STOMP frame view in a
+// single pass over the headers: no header map is ever built for transport
+// metadata, label parses and the topic string are memoised via cache, and
+// the event takes ownership of body without copying (callers must not
+// reuse it). The semantics — skipped transport headers, first-occurrence-
+// wins for repeated keys, missing-destination error — match
+// UnmarshalHeaders over the materialised map.
+//
+// The view must follow the stomp.HeaderView ownership rules: UnmarshalView
+// runs on the view's read loop and retains nothing from the view's scratch
+// buffer.
+func UnmarshalView(hv *stomp.HeaderView, body []byte, cache *DecodeCache) (*Event, error) {
+	e := &Event{}
+	n := hv.Len()
+	seenTopic, seenLabels := false, false
+	for i := 0; i < n; i++ {
+		k := hv.InternedKey(i)
+		if k == "" {
+			kb := hv.KeyBytes(i)
+			if skippedHeaderBytes(kb) {
+				continue
+			}
+			e.addWireAttr(cache.attrKey(kb), hv.ValueBytes(i), n-i)
+			continue
+		}
+		switch k {
+		case HeaderDestination:
+			if !seenTopic {
+				seenTopic = true
+				e.Topic = cache.topicString(hv.ValueBytes(i))
+			}
+		case HeaderLabels:
+			if !seenLabels {
+				seenLabels = true
+				labels, err := cache.parseLabels(hv.ValueBytes(i))
+				if err != nil {
+					return nil, fmt.Errorf("event: bad label header: %w", err)
+				}
+				e.Labels = labels
+			}
+		default:
+			if skippedHeader(k) {
+				continue // transport metadata, not an event attribute
+			}
+			// Interned but attribute-like (login, session, ...): same
+			// treatment as any application header.
+			e.addWireAttr(k, hv.ValueBytes(i), n-i)
+		}
+	}
+	if e.Topic == "" {
+		return nil, fmt.Errorf("event: missing %s header", HeaderDestination)
 	}
 	if len(body) > 0 {
 		e.Body = body

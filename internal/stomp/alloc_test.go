@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"io"
+	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -68,6 +70,83 @@ func BenchmarkFrameEncode(b *testing.B) {
 	}
 }
 
+// TestDecodeViewAllocs pins the decoder's per-frame allocation budget on
+// the map-free path: once its scratch buffers are warm, DecodeView of a
+// 6-header MESSAGE frame must cost at most the body allocation (budget
+// ≤ 2 allocs/op guards against regression, steady state is 1 — the body,
+// whose ownership transfers to the consumer).
+func TestDecodeViewAllocs(t *testing.T) {
+	var wire bytes.Buffer
+	if err := WriteFrame(&wire, messageFrame()); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	raw := bytes.NewReader(wire.Bytes())
+	br := bufio.NewReaderSize(raw, 32*1024)
+	dec := Decoder{r: br}
+	decodeOne := func() {
+		raw.Reset(wire.Bytes())
+		br.Reset(raw)
+		if _, err := dec.DecodeView(); err != nil {
+			t.Fatalf("DecodeView: %v", err)
+		}
+	}
+	decodeOne() // warm the scratch buffers
+	avg := testing.AllocsPerRun(200, decodeOne)
+	if avg > 2 {
+		t.Errorf("DecodeView allocs/op = %g, want <= 2", avg)
+	}
+}
+
+// TestDecoderShedsLargeBuffer: decoding one frame with huge headers must
+// not pin the header scratch buffer for the connection's lifetime.
+func TestDecoderShedsLargeBuffer(t *testing.T) {
+	// Many medium headers: each line stays under MaxHeaderLen, but the
+	// frame's header block overflows the retained-scratch cap.
+	big := NewFrame(CmdSend)
+	big.SetHeader(HdrDestination, "/t")
+	val := strings.Repeat("x", 400)
+	for i := 0; len(big.Headers)*len(val) < maxRetainedDecodeBuf+4096; i++ {
+		big.SetHeader("h"+strconv.Itoa(i), val)
+	}
+	small := NewFrame(CmdSend)
+	small.SetHeader(HdrDestination, "/t")
+	var wire bytes.Buffer
+	if err := WriteFrame(&wire, big); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	if err := WriteFrame(&wire, small); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	dec := NewDecoder(&wire)
+	for i := 0; i < 2; i++ {
+		if _, err := dec.DecodeView(); err != nil {
+			t.Fatalf("DecodeView %d: %v", i, err)
+		}
+	}
+	if cap(dec.hbuf) > maxRetainedDecodeBuf {
+		t.Errorf("retained %d-byte header scratch, want <= %d", cap(dec.hbuf), maxRetainedDecodeBuf)
+	}
+
+	// Idle-retention guard: a decoder whose connection goes quiet after an
+	// oversized frame must drop the previous view's buffer reference when
+	// the next DecodeView starts, even though no further frame arrives.
+	var bigOnly bytes.Buffer
+	if err := WriteFrame(&bigOnly, big); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	idle := NewDecoder(&bigOnly)
+	if _, err := idle.DecodeView(); err != nil {
+		t.Fatalf("DecodeView: %v", err)
+	}
+	if _, err := idle.DecodeView(); err != io.EOF {
+		t.Fatalf("DecodeView at EOF: %v, want io.EOF", err)
+	}
+	if idle.view.Headers.buf != nil || cap(idle.hbuf) > maxRetainedDecodeBuf {
+		t.Errorf("idle decoder pins %d-byte view buf + %d-byte scratch, want none retained",
+			cap(idle.view.Headers.buf), cap(idle.hbuf))
+	}
+}
+
 func BenchmarkFrameDecode(b *testing.B) {
 	var wire bytes.Buffer
 	if err := WriteFrame(&wire, messageFrame()); err != nil {
@@ -83,6 +162,25 @@ func BenchmarkFrameDecode(b *testing.B) {
 		br.Reset(raw)
 		if _, err := dec.Decode(); err != nil {
 			b.Fatalf("Decode: %v", err)
+		}
+	}
+}
+
+func BenchmarkFrameDecodeView(b *testing.B) {
+	var wire bytes.Buffer
+	if err := WriteFrame(&wire, messageFrame()); err != nil {
+		b.Fatalf("WriteFrame: %v", err)
+	}
+	raw := bytes.NewReader(wire.Bytes())
+	br := bufio.NewReaderSize(raw, 32*1024)
+	dec := Decoder{r: br}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw.Reset(wire.Bytes())
+		br.Reset(raw)
+		if _, err := dec.DecodeView(); err != nil {
+			b.Fatalf("DecodeView: %v", err)
 		}
 	}
 }

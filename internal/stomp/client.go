@@ -17,6 +17,20 @@ import (
 // goroutines, mirroring the paper's per-callback threads).
 type MessageHandler func(f *Frame)
 
+// MessageViewHandler consumes MESSAGE frames as decoder views, skipping
+// the header-map materialisation MessageHandler pays. Handlers run on the
+// client's read goroutine; the view and its headers are invalid once the
+// handler returns (the next decode reuses the scratch buffer), while the
+// body's ownership transfers to the handler.
+type MessageViewHandler func(v *FrameView)
+
+// subscriber holds the handler registered for one subscription id, in
+// exactly one of its two forms.
+type subscriber struct {
+	mh MessageHandler
+	vh MessageViewHandler
+}
+
 // ClientConfig configures a Client.
 type ClientConfig struct {
 	// Login identifies the principal; the broker uses it for policy
@@ -45,7 +59,7 @@ type Client struct {
 	fw   *frameWriter
 
 	mu       sync.Mutex
-	subs     map[string]MessageHandler
+	subs     map[string]subscriber
 	receipts map[string]chan struct{}
 	nextID   uint64
 	closed   bool
@@ -82,7 +96,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	c := &Client{
 		cfg:      cfg,
 		conn:     conn,
-		subs:     make(map[string]MessageHandler),
+		subs:     make(map[string]subscriber),
 		receipts: make(map[string]chan struct{}),
 		readDone: make(chan struct{}),
 	}
@@ -139,7 +153,7 @@ func (c *Client) readLoop(dec *Decoder) {
 	// OnError) does not leak the writer goroutine and its buffers.
 	defer func() { _ = c.fw.close() }()
 	for {
-		f, err := dec.Decode()
+		v, err := dec.DecodeView()
 		if err != nil {
 			c.mu.Lock()
 			closed := c.closed
@@ -149,27 +163,34 @@ func (c *Client) readLoop(dec *Decoder) {
 			}
 			return
 		}
-		switch f.Command {
+		switch v.Command {
 		case CmdMessage:
+			sb, _ := v.Headers.GetBytes(HdrSubscription)
 			c.mu.Lock()
-			handler := c.subs[f.Header(HdrSubscription)]
+			h := c.subs[string(sb)] // compiler elides the conversion
 			c.mu.Unlock()
-			if handler != nil {
+			switch {
+			case h.vh != nil:
 				c.inHandler.Store(true)
-				handler(f)
+				h.vh(v)
+				c.inHandler.Store(false)
+			case h.mh != nil:
+				c.inHandler.Store(true)
+				h.mh(v.Materialize())
 				c.inHandler.Store(false)
 			}
 		case CmdReceipt:
+			rb, _ := v.Headers.GetBytes(HdrReceiptID)
 			c.mu.Lock()
-			ch := c.receipts[f.Header(HdrReceiptID)]
-			delete(c.receipts, f.Header(HdrReceiptID))
+			ch := c.receipts[string(rb)]
+			delete(c.receipts, string(rb))
 			c.mu.Unlock()
 			if ch != nil {
 				close(ch)
 			}
 		case CmdError:
 			if c.cfg.OnError != nil {
-				c.cfg.OnError(fmt.Errorf("stomp: server error: %s: %s", f.Header(HdrMessage), f.Body))
+				c.cfg.OnError(fmt.Errorf("stomp: server error: %s: %s", v.Headers.Header(HdrMessage), v.Body))
 			}
 		}
 	}
@@ -215,6 +236,21 @@ func (c *Client) Subscribe(destination, sel string, extraHeaders map[string]stri
 	if handler == nil {
 		return "", errors.New("stomp: nil subscription handler")
 	}
+	return c.subscribe(destination, sel, extraHeaders, subscriber{mh: handler})
+}
+
+// SubscribeView is Subscribe with a map-free handler: delivered MESSAGE
+// frames are handed over as decoder views, skipping the per-frame header
+// map. See MessageViewHandler for the view's lifetime rules; everything
+// else (receipt confirmation, selector, extra headers) matches Subscribe.
+func (c *Client) SubscribeView(destination, sel string, extraHeaders map[string]string, handler MessageViewHandler) (string, error) {
+	if handler == nil {
+		return "", errors.New("stomp: nil subscription handler")
+	}
+	return c.subscribe(destination, sel, extraHeaders, subscriber{vh: handler})
+}
+
+func (c *Client) subscribe(destination, sel string, extraHeaders map[string]string, h subscriber) (string, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -222,7 +258,7 @@ func (c *Client) Subscribe(destination, sel string, extraHeaders map[string]stri
 	}
 	c.nextID++
 	id := "sub-" + strconv.FormatUint(c.nextID, 10)
-	c.subs[id] = handler
+	c.subs[id] = h
 	c.mu.Unlock()
 
 	f := NewFrame(CmdSubscribe)

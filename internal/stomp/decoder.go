@@ -6,19 +6,25 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"strconv"
+	"math"
 )
 
+// maxRetainedDecodeBuf bounds the header scratch capacity a Decoder keeps
+// between frames; one frame with huge headers must not pin its buffer for
+// the connection's lifetime.
+const maxRetainedDecodeBuf = 64 * 1024
+
 // Decoder decodes STOMP frames from a stream. It is the allocation-aware
-// counterpart of ReadFrame: the line buffer and the header scratch slices
-// are reused across frames, and each frame's header map is allocated
-// right-sized once the header block has been scanned. A Decoder is not
-// safe for concurrent use; each connection read loop owns one.
+// counterpart of ReadFrame: the line buffer, the header scratch buffer and
+// the span slice are reused across frames, commands and common header keys
+// are interned, and DecodeView exposes the headers map-free. A Decoder is
+// not safe for concurrent use; each connection read loop owns one.
 type Decoder struct {
-	r    *bufio.Reader
-	line []byte
-	keys []string
-	vals []string
+	r     *bufio.Reader
+	line  []byte
+	hbuf  []byte
+	spans []headerSpan
+	view  FrameView
 }
 
 // NewDecoder wraps r in a Decoder; an existing *bufio.Reader is used
@@ -31,9 +37,35 @@ func NewDecoder(r io.Reader) *Decoder {
 	return &Decoder{r: br}
 }
 
-// Decode reads one frame. It skips heart-beat newlines between frames and
-// returns io.EOF at a clean end of stream.
+// Decode reads one frame, materialising the header map. It skips
+// heart-beat newlines between frames and returns io.EOF at a clean end of
+// stream. Read loops on the hot path use DecodeView instead and skip the
+// map.
 func (d *Decoder) Decode() (*Frame, error) {
+	v, err := d.DecodeView()
+	if err != nil {
+		return nil, err
+	}
+	return v.Materialize(), nil
+}
+
+// DecodeView reads one frame into the decoder's reused FrameView: no
+// header map, no per-header key/value string allocations — the headers are
+// spans over a scratch buffer (see HeaderView for the ownership rules).
+// The returned view and its headers are invalidated by the next
+// Decode/DecodeView call; the body is freshly allocated and ownership
+// transfers to the caller. Heart-beat newlines between frames are skipped
+// and io.EOF reports a clean end of stream.
+func (d *Decoder) DecodeView() (*FrameView, error) {
+	// Invalidate the previous view and shed oversized scratch BEFORE
+	// blocking on the socket: an idle connection must pin at most
+	// maxRetainedDecodeBuf of header scratch, not the worst-case header
+	// block of whatever frame happened to arrive last.
+	d.view = FrameView{}
+	if cap(d.hbuf) > maxRetainedDecodeBuf {
+		d.hbuf = nil
+	}
+
 	// Skip inter-frame EOLs (heart-beats).
 	var cmd string
 	for {
@@ -42,21 +74,21 @@ func (d *Decoder) Decode() (*Frame, error) {
 			return nil, err
 		}
 		if len(line) > 0 {
-			cmd = string(line)
+			var ok bool
+			cmd, ok = internCommand(line)
+			if !ok {
+				return nil, protoErrorf("unknown command %q", line)
+			}
 			break
 		}
 	}
-	switch cmd {
-	case CmdConnect, CmdConnected, CmdSend, CmdSubscribe, CmdUnsubscribe,
-		CmdMessage, CmdReceipt, CmdError, CmdDisconnect, CmdAck, CmdNack,
-		CmdBegin, CmdCommit, CmdAbort:
-	default:
-		return nil, protoErrorf("unknown command %q", cmd)
-	}
 
-	// Scan the header block into reused scratch slices first, so the
-	// frame's header map can be allocated with the right size.
-	d.keys, d.vals = d.keys[:0], d.vals[:0]
+	// Scan the header block into the reused span slice and scratch buffer.
+	// content-length frames the body and never enters the view, matching
+	// the header map the legacy path exposed.
+	d.hbuf = d.hbuf[:0]
+	d.spans = d.spans[:0]
+	bodyLen := -1
 	for i := 0; ; i++ {
 		if i > maxHeaders {
 			return nil, protoErrorf("too many headers")
@@ -75,53 +107,46 @@ func (d *Decoder) Decode() (*Frame, error) {
 		if sep < 0 {
 			return nil, protoErrorf("malformed header line %q", line)
 		}
-		key, ok := internHeaderKey(line[:sep])
-		if !ok {
-			key, err = unescapeHeaderBytes(line[:sep])
+		var sp headerSpan
+		key, interned := internHeaderKey(line[:sep])
+		sp.key = key
+		sp.k0 = len(d.hbuf)
+		if interned {
+			// Interned names contain no escapable characters, so the raw
+			// wire bytes are already the unescaped key.
+			d.hbuf = append(d.hbuf, line[:sep]...)
+		} else {
+			d.hbuf, err = appendUnescapedHeader(d.hbuf, line[:sep])
 			if err != nil {
 				return nil, err
 			}
 		}
-		val, err := unescapeHeaderBytes(line[sep+1:])
+		sp.k1 = len(d.hbuf)
+		sp.v0 = len(d.hbuf)
+		d.hbuf, err = appendUnescapedHeader(d.hbuf, line[sep+1:])
 		if err != nil {
 			return nil, err
 		}
-		d.keys = append(d.keys, key)
-		d.vals = append(d.vals, val)
-	}
-
-	f := &Frame{Command: cmd}
-	n := 0
-	for _, k := range d.keys {
-		if k != HdrContentLength {
-			n++
-		}
-	}
-	f.Headers = make(map[string]string, n)
-	bodyLen := -1
-	for i, k := range d.keys {
-		if k == HdrContentLength {
-			if bodyLen >= 0 {
-				continue // per spec, the first occurrence wins
+		sp.v1 = len(d.hbuf)
+		if interned && key == HdrContentLength {
+			if bodyLen < 0 { // per spec, the first occurrence wins
+				bodyLen, err = parseContentLength(d.hbuf[sp.v0:sp.v1])
+				if err != nil {
+					return nil, err
+				}
 			}
-			v, err := strconv.Atoi(d.vals[i])
-			if err != nil || v < 0 {
-				return nil, protoErrorf("bad content-length %q", d.vals[i])
-			}
-			bodyLen = v
+			d.hbuf = d.hbuf[:sp.k0] // framing only; drop it from the view
 			continue
 		}
-		// Per spec, the first occurrence of a repeated header wins.
-		if _, dup := f.Headers[k]; !dup {
-			f.Headers[k] = d.vals[i]
-		}
+		d.spans = append(d.spans, sp)
 	}
 
+	var body []byte
 	if bodyLen >= 0 {
 		if bodyLen > MaxBodyLen {
 			return nil, protoErrorf("body of %d bytes exceeds limit", bodyLen)
 		}
-		body := make([]byte, bodyLen)
+		body = make([]byte, bodyLen)
 		if _, err := io.ReadFull(d.r, body); err != nil {
 			return nil, fmt.Errorf("stomp: short body: %w", err)
 		}
@@ -132,21 +157,54 @@ func (d *Decoder) Decode() (*Frame, error) {
 		if terminator != 0 {
 			return nil, protoErrorf("frame not NUL-terminated after body")
 		}
-		if bodyLen > 0 {
-			f.Body = body
+	} else {
+		// No content-length: body runs to the NUL terminator.
+		var err error
+		body, err = d.readBodyToNUL()
+		if err != nil {
+			return nil, err
 		}
-		return f, nil
+	}
+	if len(body) == 0 {
+		body = nil
 	}
 
-	// No content-length: body runs to the NUL terminator.
-	body, err := d.readBodyToNUL()
-	if err != nil {
-		return nil, err
+	d.view = FrameView{
+		Command: cmd,
+		Headers: HeaderView{buf: d.hbuf, spans: d.spans},
+		Body:    body,
 	}
-	if len(body) > 0 {
-		f.Body = body
+	return &d.view, nil
+}
+
+// parseContentLength parses a content-length value. It accepts what
+// strconv.Atoi accepts (an optional sign and decimal digits, so "-0" is a
+// valid zero) and rejects negatives and anything that cannot fit a sane
+// body length.
+func parseContentLength(b []byte) (int, error) {
+	i, neg := 0, false
+	if len(b) > 0 && (b[0] == '+' || b[0] == '-') {
+		neg = b[0] == '-'
+		i++
 	}
-	return f, nil
+	if i >= len(b) {
+		return 0, protoErrorf("bad content-length %q", b)
+	}
+	var n int64
+	for ; i < len(b); i++ {
+		c := b[i]
+		if c < '0' || c > '9' {
+			return 0, protoErrorf("bad content-length %q", b)
+		}
+		n = n*10 + int64(c-'0')
+		if n > math.MaxInt32 { // out of any sane range; avoids overflow
+			return 0, protoErrorf("bad content-length %q", b)
+		}
+	}
+	if neg && n != 0 {
+		return 0, protoErrorf("bad content-length %q", b)
+	}
+	return int(n), nil
 }
 
 // readBodyToNUL reads a terminator-delimited body, enforcing MaxBodyLen —
@@ -209,6 +267,43 @@ func (d *Decoder) readLine() ([]byte, error) {
 	return line, nil
 }
 
+// internCommand returns the canonical string for a frame command, avoiding
+// a per-frame allocation in the read loop; ok is false for unknown
+// commands.
+func internCommand(b []byte) (string, bool) {
+	switch string(b) { // compiler optimises away the conversion
+	case CmdConnect:
+		return CmdConnect, true
+	case CmdConnected:
+		return CmdConnected, true
+	case CmdSend:
+		return CmdSend, true
+	case CmdSubscribe:
+		return CmdSubscribe, true
+	case CmdUnsubscribe:
+		return CmdUnsubscribe, true
+	case CmdMessage:
+		return CmdMessage, true
+	case CmdReceipt:
+		return CmdReceipt, true
+	case CmdError:
+		return CmdError, true
+	case CmdDisconnect:
+		return CmdDisconnect, true
+	case CmdAck:
+		return CmdAck, true
+	case CmdNack:
+		return CmdNack, true
+	case CmdBegin:
+		return CmdBegin, true
+	case CmdCommit:
+		return CmdCommit, true
+	case CmdAbort:
+		return CmdAbort, true
+	}
+	return "", false
+}
+
 // internHeaderKey returns the canonical string for header keys that
 // appear on essentially every frame, avoiding a per-header allocation in
 // the read loop. The interned names contain no escapable characters, so
@@ -251,36 +346,44 @@ func internHeaderKey(b []byte) (string, bool) {
 	return "", false
 }
 
-// unescapeHeaderBytes reverses appendEscapedHeader, rejecting undefined
-// sequences. The result is an owned string; the input may be a reused
-// buffer.
-func unescapeHeaderBytes(b []byte) (string, error) {
+// appendUnescapedHeader appends the unescaped form of b (reversing
+// appendEscapedHeader) to dst, rejecting undefined sequences.
+func appendUnescapedHeader(dst, b []byte) ([]byte, error) {
 	if bytes.IndexByte(b, '\\') < 0 {
-		return string(b), nil
+		return append(dst, b...), nil
 	}
-	out := make([]byte, 0, len(b))
 	for i := 0; i < len(b); i++ {
 		c := b[i]
 		if c != '\\' {
-			out = append(out, c)
+			dst = append(dst, c)
 			continue
 		}
 		i++
 		if i >= len(b) {
-			return "", protoErrorf("dangling escape in header %q", b)
+			return dst, protoErrorf("dangling escape in header %q", b)
 		}
 		switch b[i] {
 		case '\\':
-			out = append(out, '\\')
+			dst = append(dst, '\\')
 		case 'n':
-			out = append(out, '\n')
+			dst = append(dst, '\n')
 		case 'r':
-			out = append(out, '\r')
+			dst = append(dst, '\r')
 		case 'c':
-			out = append(out, ':')
+			dst = append(dst, ':')
 		default:
-			return "", protoErrorf("undefined escape \\%c in header %q", b[i], b)
+			return dst, protoErrorf("undefined escape \\%c in header %q", b[i], b)
 		}
+	}
+	return dst, nil
+}
+
+// unescapeHeaderBytes reverses appendEscapedHeader, returning an owned
+// string; the input may be a reused buffer.
+func unescapeHeaderBytes(b []byte) (string, error) {
+	out, err := appendUnescapedHeader(nil, b)
+	if err != nil {
+		return "", err
 	}
 	return string(out), nil
 }

@@ -7,6 +7,25 @@
 // escaping, content-length handling, receipts, and TLS at the transport
 // layer. SafeWeb's label extensions ride in ordinary headers (see package
 // event); the codec itself is label-agnostic.
+//
+// # Decode fast path
+//
+// Frame is the mutable, map-backed representation; the decode hot path
+// never builds it. Decoder.DecodeView yields a FrameView whose HeaderView
+// is a flat key/value span slice over the decoder's reused scratch buffer,
+// with common header keys and all commands interned. Ownership rules:
+//
+//   - A HeaderView (and its FrameView) is confined to the goroutine running
+//     the owning Decoder — one read loop per connection — and is
+//     invalidated by that Decoder's next Decode/DecodeView call. Never
+//     retain one across frames; copy what you keep (Get/Key/Value/Map
+//     return owned data, KeyBytes/ValueBytes do not).
+//   - The view's Body is freshly allocated per frame and its ownership
+//     transfers to the consumer (package event hands it to the decoded
+//     event without copying).
+//   - The header map is materialised lazily — FrameView.Materialize — only
+//     for callers that mutate headers or retain the frame; Decoder.Decode
+//     and ReadFrame remain as that compatibility path.
 package stomp
 
 import (

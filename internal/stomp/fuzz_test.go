@@ -1,0 +1,105 @@
+package stomp
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to every decode path and checks the
+// cross-path invariants the conformance corpus pins on canonical frames:
+//
+//   - no decode path may panic, whatever the input;
+//   - ReadFrame, a fresh Decoder.Decode, and DecodeView (materialised)
+//     agree on success/failure and, on success, on the decoded frame;
+//   - decoded bodies respect MaxBodyLen on every path;
+//   - a decoded frame re-encodes and decodes to itself (round-trip
+//     stability), so anything the decoder accepts is representable.
+func FuzzDecode(f *testing.F) {
+	for _, tc := range conformanceCorpus() {
+		f.Add([]byte(tc.wire))
+	}
+	// A few shapes the corpus does not cover.
+	f.Add([]byte("SEND\n" + strings.Repeat("k:v\n", 300) + "\n\x00")) // header-count limit
+	f.Add([]byte("MESSAGE\ncontent-length:100\n\n"))                  // truncated body
+	f.Add(bytes.Repeat([]byte{'\n'}, 64))                             // heart-beats, clean EOF
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		legacy, errLegacy := ReadFrame(bufio.NewReader(bytes.NewReader(data)))
+		fresh, errFresh := NewDecoder(bytes.NewReader(data)).Decode()
+		view, errView := NewDecoder(bytes.NewReader(data)).DecodeView()
+
+		if (errLegacy == nil) != (errFresh == nil) || (errLegacy == nil) != (errView == nil) {
+			t.Fatalf("decode paths disagree on error: ReadFrame=%v Decode=%v DecodeView=%v",
+				errLegacy, errFresh, errView)
+		}
+		if errLegacy != nil {
+			return
+		}
+
+		materialised := view.Materialize()
+		if !framesEquivalent(legacy, fresh) || !framesEquivalent(legacy, materialised) {
+			t.Fatalf("decode paths disagree:\nReadFrame:  %v\nDecode:     %v\nDecodeView: %v",
+				legacy, fresh, materialised)
+		}
+		if len(legacy.Body) > MaxBodyLen || len(view.Body) > MaxBodyLen {
+			t.Fatalf("decoded body of %d bytes exceeds MaxBodyLen", len(legacy.Body))
+		}
+		// View accessors agree with the materialised map.
+		for k, v := range materialised.Headers {
+			if got := view.Headers.Header(k); got != v {
+				t.Fatalf("view Header(%q) = %q, want %q", k, got, v)
+			}
+		}
+
+		// Round-trip stability: re-encode and decode back.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, legacy); err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		back, err := ReadFrame(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !framesEquivalent(legacy, back) {
+			t.Fatalf("round trip changed frame:\nbefore: %v\nafter:  %v", legacy, back)
+		}
+	})
+}
+
+// FuzzHeaderEscape checks the header escaping pair: escape→unescape is the
+// identity on arbitrary strings, and unescaping arbitrary bytes never
+// panics — it either fails or produces something that re-escapes to the
+// canonical form of the same value.
+func FuzzHeaderEscape(f *testing.F) {
+	f.Add("plain")
+	f.Add("line1\nline2:with\\colon\rand-cr")
+	f.Add(`trailing\`)
+	f.Add(`bad\q`)
+	f.Add("")
+	f.Add("\\c\\n\\r\\\\")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		esc := appendEscapedHeader(nil, s)
+		back, err := unescapeHeaderBytes(esc)
+		if err != nil {
+			t.Fatalf("unescape(escape(%q)) failed: %v", s, err)
+		}
+		if back != s {
+			t.Fatalf("unescape(escape(%q)) = %q", s, back)
+		}
+
+		// Arbitrary input: must not panic; on success the value must be
+		// canonically representable.
+		val, err := unescapeHeaderBytes([]byte(s))
+		if err != nil {
+			return
+		}
+		canon := appendEscapedHeader(nil, val)
+		reback, err := unescapeHeaderBytes(canon)
+		if err != nil || reback != val {
+			t.Fatalf("canonical re-escape of %q broke: %q, %v", val, reback, err)
+		}
+	})
+}

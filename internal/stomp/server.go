@@ -28,6 +28,18 @@ type SessionHandler interface {
 	OnDisconnect(sess *Session)
 }
 
+// FrameViewHandler is the optional map-free extension of SessionHandler:
+// when the configured handler implements it, the server delivers inbound
+// frames as decoder views via OnFrameView instead of materialising a
+// header map per frame for OnFrame. The view and its headers are invalid
+// once OnFrameView returns (the session's next decode reuses the scratch
+// buffer); the body's ownership transfers to the handler.
+type FrameViewHandler interface {
+	// OnFrameView is called sequentially for each inbound frame except
+	// CONNECT and DISCONNECT, replacing OnFrame.
+	OnFrameView(sess *Session, v *FrameView) error
+}
+
 // Session is one server-side client connection. Outbound frames pass
 // through a write-coalescing writer goroutine: MESSAGE bursts are encoded
 // back-to-back and flushed once per batch, while receipts, errors and
@@ -211,9 +223,10 @@ func (s *Server) serveSession(sess *Session) {
 	}()
 
 	dec := NewDecoder(sess.conn)
+	viewHandler, _ := s.cfg.Handler.(FrameViewHandler)
 
 	// Handshake: first frame must be CONNECT.
-	first, err := dec.Decode()
+	first, err := dec.DecodeView()
 	if err != nil {
 		return
 	}
@@ -221,9 +234,9 @@ func (s *Server) serveSession(sess *Session) {
 		sess.SendError("expected CONNECT", "")
 		return
 	}
-	login := first.Header(HdrLogin)
+	login := first.Headers.Header(HdrLogin)
 	if s.cfg.Authenticate != nil {
-		if err := s.cfg.Authenticate(login, first.Header(HdrPasscode)); err != nil {
+		if err := s.cfg.Authenticate(login, first.Headers.Header(HdrPasscode)); err != nil {
 			sess.SendError("authentication failed", err.Error())
 			return
 		}
@@ -243,7 +256,7 @@ func (s *Server) serveSession(sess *Session) {
 	}
 
 	for {
-		f, err := dec.Decode()
+		v, err := dec.DecodeView()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !isClosedConn(err) {
 				var pe *ProtocolError
@@ -254,21 +267,28 @@ func (s *Server) serveSession(sess *Session) {
 			}
 			return
 		}
-		if f.Command == CmdDisconnect {
-			s.ack(sess, f)
+		if v.Command == CmdDisconnect {
+			s.ack(sess, v)
 			return
 		}
-		if err := s.cfg.Handler.OnFrame(sess, f); err != nil {
+		if viewHandler != nil {
+			err = viewHandler.OnFrameView(sess, v)
+		} else {
+			err = s.cfg.Handler.OnFrame(sess, v.Materialize())
+		}
+		if err != nil {
 			sess.SendError("frame rejected", err.Error())
 			return
 		}
-		s.ack(sess, f)
+		// The view's headers stay valid across the handler call (only the
+		// body's ownership moved), so the receipt lookup is safe here.
+		s.ack(sess, v)
 	}
 }
 
 // ack sends a RECEIPT if the frame asked for one.
-func (s *Server) ack(sess *Session, f *Frame) {
-	receipt := f.Header(HdrReceipt)
+func (s *Server) ack(sess *Session, v *FrameView) {
+	receipt := v.Headers.Header(HdrReceipt)
 	if receipt == "" {
 		return
 	}
