@@ -102,6 +102,10 @@ type Subscription struct {
 	sel      *selector.Selector
 	hasSel   bool
 	handler  Handler
+	// wire marks a wire subscription (SubscribeWire): the handler gets
+	// the frozen published event itself instead of a per-subscriber
+	// Delivery copy.
+	wire bool
 
 	// clearance caches the principal's privileges; it is refreshed when
 	// the policy generation moves. Concurrent refreshes are benign (both
@@ -208,6 +212,21 @@ func TopicMatches(pattern, topic string) bool {
 // existing subscriptions on their next delivery. The selector source may
 // be empty for no content filtering.
 func (b *Broker) Subscribe(principal, topic, sel string, handler Handler) (*Subscription, error) {
+	return b.subscribe(principal, topic, sel, handler, false)
+}
+
+// SubscribeWire registers a wire subscription: the handler receives the
+// frozen published event itself, with no per-subscriber attribute copy.
+// It exists for transports that only serialise the event — the STOMP
+// network front delivers through it, so every session and shard sees the
+// same event pointer and the event's wire image (Event.WireImage) is
+// encoded once per publish rather than once per session. Wire handlers
+// must never mutate the event or hand it to code that might.
+func (b *Broker) SubscribeWire(principal, topic, sel string, handler Handler) (*Subscription, error) {
+	return b.subscribe(principal, topic, sel, handler, true)
+}
+
+func (b *Broker) subscribe(principal, topic, sel string, handler Handler, wire bool) (*Subscription, error) {
 	if handler == nil {
 		return nil, errors.New("broker: nil handler")
 	}
@@ -232,6 +251,7 @@ func (b *Broker) Subscribe(principal, topic, sel string, handler Handler) (*Subs
 		sel:       compiled,
 		hasSel:    compiled.Source() != "",
 		handler:   handler,
+		wire:      wire,
 	}
 	sub.matchAll, sub.prefix = classifyTopic(topic)
 	b.subs[sub.id] = sub
@@ -379,7 +399,11 @@ func (b *Broker) deliverAll(subs []*Subscription, ev *event.Event, conf label.Se
 			continue
 		}
 		ctr.delivered++
-		sub.handler(ev.Delivery())
+		if sub.wire {
+			sub.handler(ev) // frozen original; the transport only serialises it
+		} else {
+			sub.handler(ev.Delivery())
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"crypto/tls"
+	"errors"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,12 @@ type ClientConfig struct {
 	// per-session coalescing writers.
 	Shards int
 }
+
+// ErrUnknownSubscription is returned by Unsubscribe for an id this client
+// did not mint. Sharded clients cannot pass unknown ids through to a
+// connection: connection-local ids repeat across shards, so a blind
+// forward could tear down an unrelated live subscription.
+var ErrUnknownSubscription = errors.New("broker: unknown subscription id")
 
 // Client is a Bus implementation over a remote STOMP broker. It lets an
 // engine (or any producer/consumer) run in a different process or network
@@ -124,7 +131,11 @@ func (c *Client) Subscribe(topic, sel string, handler Handler) (string, error) {
 	}
 	sh := c.shards[idx]
 	raw, err := sh.conn.SubscribeView(topic, sel, nil, func(v *stomp.FrameView) {
-		ev, err := event.UnmarshalView(&v.Headers, v.Body, &sh.cache)
+		// Delivery unmarshal: the event comes from the delivery pool and
+		// is recycled (Event.Release) when its consumer — the engine's
+		// subscription worker — finishes the callback. Handlers must not
+		// retain it past their own return.
+		ev, err := event.UnmarshalViewDelivery(&v.Headers, v.Body, &sh.cache)
 		if err != nil {
 			if c.cfg.OnError != nil {
 				c.cfg.OnError(err)
@@ -154,8 +165,16 @@ func (c *Client) Unsubscribe(id string) error {
 	delete(c.subs, id)
 	c.mu.Unlock()
 	if !ok {
-		// Unknown id: pass through on the first connection, preserving the
-		// single-connection behaviour for ids this client did not mint.
+		if len(c.shards) > 1 {
+			// An unqualified id must not be forwarded to an arbitrary
+			// shard: connection-local ids ("sub-1") repeat across shards,
+			// so shard 0 may hold a different live subscription under the
+			// same id and a blind pass-through would tear it down while
+			// stranding its c.subs entry.
+			return ErrUnknownSubscription
+		}
+		// Single connection: pass through, preserving the behaviour for
+		// ids minted directly on the underlying stomp client.
 		return c.shards[0].conn.Unsubscribe(id)
 	}
 	return c.shards[ref.shard].conn.Unsubscribe(ref.raw)

@@ -23,6 +23,21 @@ type ServerConfig struct {
 	TLS *tls.Config
 	// Logf logs; nil uses log.Printf.
 	Logf func(format string, args ...any)
+	// OnDeliveryError observes deliveries the network front had to drop —
+	// an event that matched a subscription but could not be marshalled
+	// for the wire. A mediating broker must leave an audit trail for any
+	// suppressed flow, so nil falls back to Logf; the drop is always
+	// counted in Stats().DroppedDeliveries. The hook runs on the
+	// delivering (publish) goroutine and must not block.
+	OnDeliveryError func(sessionID uint64, subscription string, ev *event.Event, err error)
+}
+
+// ServerStats counts network-front activity not visible in the core
+// broker's Stats.
+type ServerStats struct {
+	// DroppedDeliveries counts matched deliveries dropped because the
+	// event could not be marshalled into a MESSAGE frame.
+	DroppedDeliveries uint64
 }
 
 // Server exposes a Broker over STOMP. Logins name the policy principal of
@@ -31,6 +46,9 @@ type ServerConfig struct {
 type Server struct {
 	broker *Broker
 	stomp  *stomp.Server
+	cfg    ServerConfig
+
+	droppedDeliveries atomic.Uint64
 
 	mu       sync.Mutex
 	sessions map[uint64]*serverSession
@@ -47,29 +65,10 @@ type serverSession struct {
 	idPrefix string
 	msgSeq   atomic.Uint64
 
-	// lastFrame memoises the MESSAGE frame built for the most recently
-	// delivered event: a fan-out of N subscriptions on one session
-	// marshals the event once and shares the base frame across
-	// deliveries. Best-effort — concurrent publishers may rebuild;
-	// correctness never depends on a hit.
-	lastFrame atomic.Pointer[deliveryFrame]
-
 	// decCache memoises label-header parses and the destination string
 	// for this session's inbound SENDs; OnFrameView runs on the session
 	// read goroutine only.
 	decCache event.DecodeCache
-}
-
-// deliveryFrame pairs a delivered event with the base MESSAGE frame built
-// from it. The frame is immutable once stored — deliveries pass it to
-// Session.SendMessage unmodified, and the per-subscription routing
-// headers exist only on the wire (encoder-side), sharing headers and body
-// the same way the broker core shares events (zero-copy delivery). Never
-// mutate a frame on the delivery path; concurrent deliveries of the same
-// event share it.
-type deliveryFrame struct {
-	ev *event.Event
-	f  *stomp.Frame
 }
 
 // NewServer starts a STOMP front for the broker on addr.
@@ -79,6 +78,7 @@ func NewServer(addr string, b *Broker, cfg ServerConfig) (*Server, error) {
 	}
 	srv := &Server{
 		broker:   b,
+		cfg:      cfg,
 		sessions: make(map[uint64]*serverSession),
 	}
 	st, err := stomp.NewServer(addr, stomp.ServerConfig{
@@ -99,6 +99,11 @@ func (s *Server) Addr() string { return s.stomp.Addr() }
 
 // Close shuts down the network front (the broker itself stays open).
 func (s *Server) Close() error { return s.stomp.Close() }
+
+// Stats returns a snapshot of network-front counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{DroppedDeliveries: s.droppedDeliveries.Load()}
+}
 
 // OnConnect implements stomp.SessionHandler.
 func (s *Server) OnConnect(sess *stomp.Session, login string) error {
@@ -160,7 +165,10 @@ func (s *Server) OnFrameView(sess *stomp.Session, v *stomp.FrameView) error {
 		}
 		topic := v.Headers.Header(stomp.HdrDestination)
 		sel := v.Headers.Header(stomp.HdrSelector)
-		sub, err := s.broker.Subscribe(sess.Login(), topic, sel, func(ev *event.Event) {
+		// A wire subscription: delivery only serialises the event, so the
+		// broker hands over the frozen original — every session and shard
+		// then shares one event pointer and one wire image per publish.
+		sub, err := s.broker.SubscribeWire(sess.Login(), topic, sel, func(ev *event.Event) {
 			s.deliver(ss, clientID, ev)
 		})
 		if err != nil {
@@ -189,50 +197,35 @@ func (s *Server) OnFrameView(sess *stomp.Session, v *stomp.FrameView) error {
 	}
 }
 
-// deliver sends a matched event to a session as a MESSAGE frame. The base
-// frame (event headers + shared body) is built once per event and shared
-// across the session's matching subscriptions; the per-delivery
-// subscription and message-id routing headers are handed to the encoder
-// and exist only on the wire, so fan-out never clones the frame. The
-// frames feed the session's coalescing writer, so a fan-out burst costs
-// one flush.
+// deliver sends a matched event to a session as a MESSAGE frame. The
+// event's wire image — canonical header block plus body — is encoded once
+// per published event (Event.WireImage) and shared across every matching
+// subscription on every session and shard; only the per-delivery
+// subscription and message-id routing headers are encoded per send, and
+// they exist only on the wire. The frames feed the session's coalescing
+// writer, so a fan-out burst costs one flush.
+//
+// An event that cannot be marshalled was validated at publish, so this
+// "cannot happen in practice" — but a mediating broker must not lose a
+// matched delivery silently, so the drop is counted and reported through
+// ServerConfig.OnDeliveryError.
 func (s *Server) deliver(ss *serverSession, clientSubID string, ev *event.Event) {
-	base := ss.baseFrame(ev)
-	if base == nil {
-		return // event was validated at publish; cannot happen in practice
+	img, err := ev.WireImage()
+	if err != nil {
+		s.dropDelivery(ss, clientSubID, ev, err)
+		return
 	}
 	seq := ss.msgSeq.Add(1)
 	// Session teardown races are handled by OnDisconnect.
-	_ = ss.sess.SendMessage(base, clientSubID, ss.idPrefix, seq)
+	_ = ss.sess.SendMessageImage(img, clientSubID, ss.idPrefix, seq)
 }
 
-// maxMemoBodyLen caps the body size of memoised delivery frames: an idle
-// session must not pin a multi-megabyte payload until its next delivery.
-// Above the cap, rebuilding a header map is noise next to writing the
-// body anyway.
-const maxMemoBodyLen = 64 * 1024
-
-// baseFrame returns the routing-header-free MESSAGE frame for ev,
-// marshalling it at most once per event in the common sequential-delivery
-// case. Memo hits require pointer identity, which the broker core
-// provides for attribute-free events (shared outright across
-// subscribers); holding the event in the memo keeps its address live, so
-// a stale pointer can never alias a new event.
-func (ss *serverSession) baseFrame(ev *event.Event) *stomp.Frame {
-	if m := ss.lastFrame.Load(); m != nil && m.ev == ev {
-		return m.f
+// dropDelivery records a matched delivery the network front had to drop.
+func (s *Server) dropDelivery(ss *serverSession, clientSubID string, ev *event.Event, err error) {
+	s.droppedDeliveries.Add(1)
+	if s.cfg.OnDeliveryError != nil {
+		s.cfg.OnDeliveryError(ss.sess.ID(), clientSubID, ev, err)
+		return
 	}
-	headers, body, err := event.MarshalHeaders(ev)
-	if err != nil {
-		return nil
-	}
-	f := stomp.NewFrame(stomp.CmdMessage)
-	for k, v := range headers {
-		f.SetHeader(k, v)
-	}
-	f.Body = body
-	if len(body) <= maxMemoBodyLen {
-		ss.lastFrame.Store(&deliveryFrame{ev: ev, f: f})
-	}
-	return f
+	s.cfg.Logf("broker: dropped delivery to session %d sub %s: %v", ss.sess.ID(), clientSubID, err)
 }

@@ -25,6 +25,11 @@ import (
 // the pooled fields (before pooling, such retention read a stale private
 // snapshot instead), which is why the non-retention rule is a hard
 // contract, not a guideline.
+//
+// The delivered event shares this invalidation lifecycle: when the
+// callback completes, the engine releases the event back to the delivery
+// pool (event.Event.Release), so callbacks must not retain the event or
+// its attribute map either — Clone what must outlive the callback.
 type Context struct {
 	engine *Engine
 	rt     *unitRuntime

@@ -48,6 +48,13 @@ type Unit interface {
 // Returning an error records a callback failure; the engine keeps running
 // (the error is the application's bug, and SafeWeb's guarantees do not
 // depend on application correctness).
+//
+// The delivered event follows the same lifecycle as the pooled Context:
+// it is valid for the duration of the callback and released back to the
+// delivery pool when the callback returns, so callbacks must not retain
+// ev (or its attribute map) past their own return — Clone what must
+// outlive the callback. Label sets and the body are shared immutable data
+// and may be kept.
 type Callback func(ctx *Context, ev *event.Event) error
 
 // BusFactory creates the Bus for a unit principal. The in-process broker's
@@ -420,7 +427,11 @@ func (e *Engine) Stop() {
 // panic containment. ctx is the worker's pooled Context: it is reset for
 // this event and invalidated again before the function returns, so a
 // callback that leaks its Context cannot act through it later (the same
-// rule InitContext enforces after Init).
+// rule InitContext enforces after Init). The delivered event rides the
+// same lifecycle: once the callback (and the error hook, which sees the
+// event last) completes, the event is released back to the delivery pool,
+// so the consumer steady state allocates no Event per callback. Both
+// non-retention rules are hard contracts, not guidelines.
 func (e *Engine) runCallback(ctx *Context, rt *unitRuntime, cb Callback, ev *event.Event) {
 	defer e.pending.add(-1)
 	ctx.engine = e
@@ -447,6 +458,7 @@ func (e *Engine) runCallback(ctx *Context, rt *unitRuntime, cb Callback, ev *eve
 			e.cfg.Logf("engine: unit %q callback error: %v", rt.name, err)
 		}
 	}
+	ev.Release() // recycle pooled delivery events; no-op on shared ones
 }
 
 // InitContext is the restricted capability surface available to a unit
@@ -506,6 +518,7 @@ func (c *InitContext) Subscribe(topic, sel string, cb Callback) error {
 		e.pending.add(1)
 		if !queue.push(queuedEvent{ev: ev, cb: cb}) {
 			e.pending.add(-1) // engine stopping; late delivery dropped
+			ev.Release()
 		}
 	})
 	if err != nil {

@@ -68,7 +68,9 @@ func TestLabelsPropagateThroughCallback(t *testing.T) {
 	// Storage collects /out.
 	err = e.AddUnit(&FuncUnit{UnitName: "storage", InitFunc: func(ctx *InitContext) error {
 		return ctx.Subscribe("/out", "", func(ctx *Context, ev *event.Event) error {
-			out <- ev
+			// Delivered events are released to the pool after the
+			// callback; Clone what outlives it.
+			out <- ev.Clone()
 			return nil
 		})
 	}})
@@ -142,7 +144,7 @@ func TestPrivilegedUnitDeclassifies(t *testing.T) {
 	}
 	err = e.AddUnit(&FuncUnit{UnitName: "sink", InitFunc: func(ctx *InitContext) error {
 		return ctx.Subscribe("/out", "", func(ctx *Context, ev *event.Event) error {
-			out <- ev
+			out <- ev.Clone() // events are pooled once the callback returns
 			return nil
 		})
 	}})
@@ -204,7 +206,7 @@ func TestPaperListing1(t *testing.T) {
 	}
 	err = e.AddUnit(&FuncUnit{UnitName: "sink", InitFunc: func(ctx *InitContext) error {
 		return ctx.Subscribe("/daily_report", "", func(ctx *Context, ev *event.Event) error {
-			daily <- ev
+			daily <- ev.Clone() // events are pooled once the callback returns
 			return nil
 		})
 	}})

@@ -231,7 +231,30 @@ func (e *Event) addWireAttr(k string, vb []byte, hint int) {
 // runs on the view's read loop and retains nothing from the view's scratch
 // buffer.
 func UnmarshalView(hv *stomp.HeaderView, body []byte, cache *DecodeCache) (*Event, error) {
-	e := &Event{}
+	return unmarshalView(&Event{}, hv, body, cache)
+}
+
+// UnmarshalViewDelivery is UnmarshalView for delivery pipelines with a
+// strict per-event lifecycle: the returned event comes from the delivery
+// pool and is recycled by Release once its callback completes (the
+// engine does this for every delivered event). The caller's pipeline must
+// own the event exclusively and must not retain it past Release; events
+// that are re-published or otherwise escape the delivery lifecycle must
+// use UnmarshalView instead. A pooled event reuses its attribute map, so
+// a fan-out consumer's steady state allocates only the body and the
+// attribute value strings.
+func UnmarshalViewDelivery(hv *stomp.HeaderView, body []byte, cache *DecodeCache) (*Event, error) {
+	e := newPooledEvent()
+	if _, err := unmarshalView(e, hv, body, cache); err != nil {
+		e.Release() // malformed frame: recycle the unused pooled event
+		return nil, err
+	}
+	return e, nil
+}
+
+// unmarshalView builds the event into e, which must be zero-valued apart
+// from a reusable (empty) attribute map.
+func unmarshalView(e *Event, hv *stomp.HeaderView, body []byte, cache *DecodeCache) (*Event, error) {
 	n := hv.Len()
 	seenTopic, seenLabels := false, false
 	for i := 0; i < n; i++ {

@@ -5,6 +5,19 @@
 // data payload; keys, values and the body are untyped strings. Every event
 // carries a set of security labels. Deriving an event from others composes
 // labels per the sticky/fragile rules of package label.
+//
+// # Wire image and delivery lifecycles
+//
+// A frozen (published) event lazily memoises its STOMP MESSAGE wire form
+// (WireImage): the first networked delivery encodes it, every other
+// session and shard shares the immutable image, and the memo dies with
+// the event. Per-delivery events — Delivery copies of attr-carrying
+// events and networked UnmarshalViewDelivery events — come from a pool
+// and are recycled by Release when their consumer's callback completes
+// (the engine does this for every delivered event); consumers on that
+// lifecycle must not retain a delivered event past their callback, and
+// must Clone what outlives it. Label sets and bodies are shared immutable
+// data and survive Release.
 package event
 
 import (
@@ -12,8 +25,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"safeweb/internal/label"
+	"safeweb/internal/stomp"
 )
 
 // ErrReservedAttribute is returned when application code attempts to set an
@@ -54,10 +70,30 @@ type Event struct {
 	// after publishing, so the memo cannot go stale.
 	labelHeader string
 
+	// wire memoises the preencoded STOMP MESSAGE image of a frozen event
+	// (see WireImage): encoded lazily at first networked delivery, then
+	// shared across every session and shard, so fan-out to S sessions
+	// marshals once instead of S times. Nil until first use; the memo
+	// lives and dies with the event, so — unlike the per-session frame
+	// memo it replaced — it never pins a payload past the event's own
+	// lifetime and needs no size cap.
+	wire atomic.Pointer[wireMemo]
+
 	// frozen is set by Freeze when the broker publishes the event. A
 	// frozen event may be shared between the publisher and several
 	// subscribers, so Set refuses to mutate it.
 	frozen bool
+
+	// pooled marks an event owned by the delivery pool: a per-subscriber
+	// Delivery copy or a networked UnmarshalViewDelivery event. Release
+	// recycles pooled events; on everything else it is a no-op.
+	pooled bool
+}
+
+// wireMemo is the once-computed result of building an event's wire image.
+type wireMemo struct {
+	img *stomp.WireImage
+	err error
 }
 
 // ErrFrozen is returned by Set on an event that has been published.
@@ -154,21 +190,84 @@ func (e *Event) Clone() *Event {
 // shared outright, making delivery allocation-free; the shared event
 // stays frozen, so Set on it fails instead of leaking across subscribers,
 // while per-subscriber copies are mutable.
+//
+// Per-subscriber copies come from the delivery pool: consumers that
+// process events on a strict per-delivery lifecycle (the engine's
+// subscription workers) call Release when the callback completes, so the
+// steady state reuses the Event struct and its attribute map instead of
+// allocating per delivery. Callbacks must not retain a delivered event
+// past their own return — the same non-retention contract as the pooled
+// engine Context; Clone what must outlive the callback.
 func (e *Event) Delivery() *Event {
 	if len(e.Attrs) == 0 {
 		return e
 	}
-	attrs := make(map[string]string, len(e.Attrs))
+	d := newPooledEvent()
+	d.Topic = e.Topic
+	d.Body = e.Body
+	d.Labels = e.Labels
+	d.labelHeader = e.labelHeader
+	if d.Attrs == nil {
+		d.Attrs = make(map[string]string, len(e.Attrs))
+	}
 	for k, v := range e.Attrs {
-		attrs[k] = v
+		d.Attrs[k] = v
 	}
-	return &Event{
-		Topic:       e.Topic,
-		Attrs:       attrs,
-		Body:        e.Body,
-		Labels:      e.Labels,
-		labelHeader: e.labelHeader,
+	return d
+}
+
+// deliveryPool recycles per-delivery events (Delivery copies and
+// networked UnmarshalViewDelivery events). Pooled events keep their
+// cleared attribute map across round-trips, so a fan-out consumer's
+// steady state allocates neither the Event nor the map.
+var deliveryPool = sync.Pool{New: func() any { return new(Event) }}
+
+// newPooledEvent returns a cleared event from the delivery pool, marked
+// for recycling by Release. Its Attrs map, when non-nil, is empty and
+// ready for reuse.
+func newPooledEvent() *Event {
+	e := deliveryPool.Get().(*Event)
+	e.pooled = true
+	return e
+}
+
+// maxPooledAttrs bounds the attribute map retained by a pooled event: a
+// one-off delivery with a huge attribute set must not pin its buckets in
+// the pool forever.
+const maxPooledAttrs = 64
+
+// Release returns a pooled delivery event to the delivery pool, clearing
+// its fields (the attribute map is kept, emptied, for reuse). It is a
+// no-op on events that did not come from the pool — notably the shared
+// attribute-free delivery and published events — so callers on the
+// delivery path may call it unconditionally. The caller must be the
+// event's sole owner and must not touch the event afterwards; the engine
+// calls it when a subscription callback completes, extending the pooled
+// Context's invalidation lifecycle to the event itself.
+func (e *Event) Release() {
+	if e == nil || !e.pooled {
+		return
 	}
+	if e.frozen {
+		// The delivered event escaped its lifecycle: a callback
+		// re-published it through a direct broker handle, so it may now
+		// be shared with other subscribers. Leak it to the GC instead of
+		// clearing live shared state — a pool miss, not a corruption.
+		return
+	}
+	e.pooled = false
+	e.Topic = ""
+	e.Body = nil
+	e.Labels = nil
+	e.labelHeader = ""
+	e.frozen = false
+	e.wire.Store(nil)
+	if len(e.Attrs) > maxPooledAttrs {
+		e.Attrs = nil
+	} else {
+		clear(e.Attrs)
+	}
+	deliveryPool.Put(e)
 }
 
 // Freeze marks the event as published: it memoises the sorted wire form
@@ -182,6 +281,51 @@ func (e *Event) Freeze() {
 	if e.labelHeader == "" && !e.Labels.IsEmpty() {
 		e.labelHeader = e.Labels.String()
 	}
+}
+
+// wireBuilds counts wire-image encodes across all events, for tests and
+// monitoring that assert the publish-once property (an event delivered to
+// N sessions must bump this exactly once).
+var wireBuilds atomic.Uint64
+
+// WireImageBuilds returns the process-wide count of wire-image encodes.
+// Regression tests use the delta across a publish fan-out to prove that
+// the MESSAGE header block and body are marshalled once per published
+// event, not once per session.
+func WireImageBuilds() uint64 { return wireBuilds.Load() }
+
+// WireImage returns the preencoded STOMP MESSAGE image for a frozen
+// event, building it at most once: the first caller encodes the canonical
+// header block and body (sync.Once-style, via an atomic memo), every
+// later caller — any session on any shard delivering the same event —
+// shares the immutable image. Concurrent first calls are safe; both
+// compute identical bytes and one becomes canonical.
+//
+// The event must be frozen (published): the image is derived from the
+// topic, attributes, labels and body, all of which are immutable after
+// Freeze. An error (an event that fails validation despite publish-time
+// checks) is memoised too, so a broken event does not re-marshal per
+// delivery; callers route it to their drop accounting rather than
+// discarding it silently.
+func (e *Event) WireImage() (*stomp.WireImage, error) {
+	if m := e.wire.Load(); m != nil {
+		return m.img, m.err
+	}
+	m := &wireMemo{}
+	headers, body, err := MarshalHeaders(e)
+	if err != nil {
+		m.err = err
+	} else {
+		m.img = stomp.NewMessageImage(headers, body)
+	}
+	if e.wire.CompareAndSwap(nil, m) {
+		if m.err == nil {
+			wireBuilds.Add(1) // one canonical build per event
+		}
+	} else {
+		m = e.wire.Load()
+	}
+	return m.img, m.err
 }
 
 // Derive creates a new event on the given topic whose labels are composed

@@ -88,6 +88,12 @@ type Bridge struct {
 	subIDs []string
 	closed bool
 
+	// closing gates forward against Close: each forward holds the read
+	// side for its whole span, Close sets the flag and then takes the
+	// write side as a barrier, so once Close returns no in-flight forward
+	// can still publish into the destination or move Stats.
+	closing   sync.RWMutex
+	stopped   atomic.Bool
 	forwarded atomic.Uint64
 	dropped   atomic.Uint64
 	errs      atomic.Uint64
@@ -118,8 +124,18 @@ func New(src, dst broker.Bus, rules []Rule) (*Bridge, error) {
 	return b, nil
 }
 
-// forward maps one event across the boundary.
+// forward maps one event across the boundary. It is gated on the bridge's
+// closed flag: a delivery racing Close (the source broker may still be
+// fanning out to the bridge's subscription while Close runs) is dropped
+// on the floor instead of publishing into a destination whose owner
+// believes the bridge is down, and Close waits for in-flight forwards, so
+// Stats are stable once Close returns.
 func (b *Bridge) forward(rule Rule, ev *event.Event) {
+	b.closing.RLock()
+	defer b.closing.RUnlock()
+	if b.stopped.Load() {
+		return
+	}
 	mapped, ok := b.mapLabels(rule, ev.Labels)
 	if !ok {
 		b.dropped.Add(1)
@@ -166,8 +182,10 @@ func (b *Bridge) Stats() Stats {
 	}
 }
 
-// Close cancels the bridge's subscriptions. The underlying buses belong
-// to the caller and stay open.
+// Close cancels the bridge's subscriptions and waits for in-flight
+// forward callbacks to finish: once it returns, nothing is published into
+// the destination on the bridge's behalf and Stats no longer move. The
+// underlying buses belong to the caller and stay open.
 func (b *Bridge) Close() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -175,6 +193,15 @@ func (b *Bridge) Close() error {
 		return nil
 	}
 	b.closed = true
+
+	// Stop forwards first (set the flag, then pass through the write
+	// lock as a barrier for forwards already past their flag check), then
+	// tear the subscriptions down; a delivery that was already in flight
+	// on the source broker drops at the gate.
+	b.stopped.Store(true)
+	b.closing.Lock()
+	b.closing.Unlock() //nolint:staticcheck // empty critical section is the barrier
+
 	var firstErr error
 	for _, id := range b.subIDs {
 		if err := b.src.Unsubscribe(id); err != nil && firstErr == nil {

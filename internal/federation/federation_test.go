@@ -1,7 +1,9 @@
 package federation
 
 import (
+	"sync"
 	"testing"
+	"time"
 
 	"safeweb/internal/broker"
 	"safeweb/internal/event"
@@ -240,4 +242,64 @@ func TestPrefixMap(t *testing.T) {
 	if _, ok := m(label.Conf("other.org/x")); ok {
 		t.Error("foreign label mapped")
 	}
+}
+
+// TestCloseStopsInFlightForwards pins the Close race fix: once Close
+// returns, no in-flight forward callback may still publish into the
+// destination or move the bridge's Stats, even while publishers keep
+// hammering the source. Run under -race this doubles as the data-race
+// check for the close gate.
+func TestCloseStopsInFlightForwards(t *testing.T) {
+	east, west := twoInstances(t)
+
+	bridge, err := New(east.Endpoint("bridge-out"), west.Endpoint("bridge-in"), []Rule{fedRule()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	// Publishers hammer the source broker for the whole test, including
+	// well past Close: forwards must stop exactly at the Close barrier.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ev := event.New("/metrics/regional", map[string]string{"cases": "1"}, eastAgg())
+				if err := east.Publish("east-producer", ev); err != nil {
+					t.Errorf("Publish: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Let some forwards happen, then close mid-stream.
+	deadline := time.Now().Add(time.Second)
+	for bridge.Stats().Forwarded == 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := bridge.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	statsAtClose := bridge.Stats()
+	deliveredAtClose := west.Stats().Published
+
+	// Publishers are still running; nothing may cross the bridge now.
+	time.Sleep(10 * time.Millisecond)
+	if got := bridge.Stats(); got != statsAtClose {
+		t.Errorf("Stats moved after Close: %+v -> %+v", statsAtClose, got)
+	}
+	if got := west.Stats().Published; got != deliveredAtClose {
+		t.Errorf("destination publishes moved after Close: %d -> %d", deliveredAtClose, got)
+	}
+
+	close(stop)
+	wg.Wait()
 }

@@ -1,0 +1,118 @@
+package label
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// policyMutators and policyReaders classify every exported Policy method.
+// The broker's cached-clearance invariant (ROADMAP: "any new policy
+// mutation path MUST bump the generation or cached clearance goes stale")
+// is enforced here: TestPolicyMethodsClassified fails when a new exported
+// method appears without being classified, and
+// TestPolicyMutatorsBumpGeneration property-checks that every classified
+// mutator moves the generation counter.
+var (
+	policyMutators = map[string]bool{
+		"SetPrincipal":    true,
+		"RemovePrincipal": true,
+		"Grant":           true,
+		"Revoke":          true,
+	}
+	policyReaders = map[string]bool{
+		"Generation":   true,
+		"WriteTo":      true,
+		"PrivilegesOf": true,
+		"IsPrivileged": true,
+		"Principals":   true,
+	}
+)
+
+// TestPolicyMethodsClassified forces the author of any new Policy method
+// to decide whether it mutates: an unclassified method fails the test, and
+// classifying it as a mutator subjects it to the generation property
+// below.
+func TestPolicyMethodsClassified(t *testing.T) {
+	typ := reflect.TypeOf(&Policy{})
+	for i := 0; i < typ.NumMethod(); i++ {
+		name := typ.Method(i).Name
+		if policyMutators[name] == policyReaders[name] {
+			t.Errorf("Policy.%s is not classified as exactly one of mutator/reader; "+
+				"add it to policyMutators or policyReaders (mutators MUST bump the generation)", name)
+		}
+	}
+}
+
+// TestPolicyMutatorsBumpGeneration property-checks the cached-clearance
+// invariant over random operation sequences: every mutating call moves
+// Generation (Revoke exactly when it reports a removal), and no reader
+// ever moves it. A subscription caching privileges tagged with the
+// generation therefore can never serve a stale snapshot after any
+// mutation path.
+func TestPolicyMutatorsBumpGeneration(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	principals := []string{"alice", "bob", "unit-a", "unit-b"}
+	patterns := []string{
+		"label:conf:ecric.org.uk/*",
+		"label:conf:ecric.org.uk/mdt/7",
+		"label:int:ecric.org.uk/app",
+		"label:conf:*",
+	}
+	privs := []Privilege{Clearance, Declassify, Endorse, ClearLow}
+
+	p := NewPolicy()
+	exercised := make(map[string]int)
+	for i := 0; i < 2000; i++ {
+		principal := principals[rng.Intn(len(principals))]
+		pat := MustParsePattern(patterns[rng.Intn(len(patterns))])
+		priv := privs[rng.Intn(len(privs))]
+		before := p.Generation()
+
+		var name string
+		mustBump := true
+		switch rng.Intn(5) {
+		case 0:
+			name = "SetPrincipal"
+			p.SetPrincipal(principal, NewPrivileges().Grant(priv, pat), rng.Intn(2) == 0)
+		case 1:
+			name = "RemovePrincipal"
+			p.RemovePrincipal(principal)
+		case 2:
+			name = "Grant"
+			p.Grant(principal, priv, pat)
+		case 3:
+			name = "Revoke"
+			mustBump = p.Revoke(principal, priv, pat)
+		default:
+			// Readers interleaved with mutators must never move the
+			// generation.
+			name = "readers"
+			mustBump = false
+			_ = p.PrivilegesOf(principal)
+			_ = p.IsPrivileged(principal)
+			_ = p.Principals()
+			if got := p.Generation(); got != before {
+				t.Fatalf("op %d: readers moved generation %d -> %d", i, before, got)
+			}
+		}
+		exercised[name]++
+
+		after := p.Generation()
+		if mustBump && after <= before {
+			t.Fatalf("op %d: %s(%s, %v, %s) did not bump generation (%d -> %d)",
+				i, name, principal, priv, pat, before, after)
+		}
+		if !mustBump && name == "Revoke" && after != before {
+			t.Fatalf("op %d: no-op Revoke moved generation %d -> %d", i, before, after)
+		}
+	}
+
+	// Every classified mutator must actually have been exercised, so the
+	// property cannot silently stop covering one.
+	for name := range policyMutators {
+		if exercised[name] == 0 {
+			t.Errorf("mutator %s never exercised by the property test", name)
+		}
+	}
+}

@@ -85,7 +85,7 @@ func TestDelegationChangesDeliveryLive(t *testing.T) {
 	got := make(chan *event.Event, 4)
 	err := e.AddUnit(&engine.FuncUnit{UnitName: "listener", InitFunc: func(ctx *engine.InitContext) error {
 		return ctx.Subscribe("/data", "", func(_ *engine.Context, ev *event.Event) error {
-			got <- ev
+			got <- ev.Clone() // events are pooled once the callback returns
 			return nil
 		})
 	}})

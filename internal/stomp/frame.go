@@ -26,6 +26,17 @@
 //   - The header map is materialised lazily — FrameView.Materialize — only
 //     for callers that mutate headers or retain the frame; Decoder.Decode
 //     and ReadFrame remain as that compatibility path.
+//
+// # Encode fast path
+//
+// The encode counterpart is the preencoded WireImage: NewMessageImage
+// freezes a MESSAGE's canonical header block and body into an immutable
+// byte image once, and Encoder.EncodeImage splices only the per-delivery
+// subscription/message-id routing headers around it. Images are immutable
+// and safe for concurrent use — the broker builds one per published event
+// (event.Event.WireImage) and shares it across every session and shard,
+// so fan-out to S sessions costs one marshal instead of S. Wire bytes are
+// identical to EncodeMessage's for the same logical frame.
 package stomp
 
 import (

@@ -1,0 +1,110 @@
+package stomp
+
+import (
+	"io"
+	"strconv"
+)
+
+// WireImage is the preencoded, immutable wire form of one broadcast
+// MESSAGE frame: the canonical header block and the content-length/body
+// tail, with a splice point between them where per-delivery routing
+// headers (subscription, message-id) are inserted by Encoder.EncodeImage.
+//
+// An image is encoded once — typically at first delivery of a published
+// event — and then shared across every session and shard that delivers
+// the event: fan-out to S sessions costs one marshal instead of S. The
+// backing buffer is immutable after NewMessageImage returns; images are
+// safe for concurrent use and must never be mutated.
+type WireImage struct {
+	// buf holds the full image: command line plus sorted base headers up
+	// to split, content-length header, blank line, body and the NUL
+	// terminator after it.
+	buf   []byte
+	split int
+}
+
+// Prefix returns the command line and canonical (sorted, escaped) header
+// block, ending just before the splice point for the routing headers.
+// The returned slice aliases the image and must not be modified.
+func (img *WireImage) Prefix() []byte { return img.buf[:img.split:img.split] }
+
+// Suffix returns the content-length header, the blank separator line, the
+// body and the frame's NUL terminator. The returned slice aliases the
+// image and must not be modified.
+func (img *WireImage) Suffix() []byte { return img.buf[img.split:] }
+
+// WireLen returns the encoded size of the image excluding the per-delivery
+// routing headers.
+func (img *WireImage) WireLen() int { return len(img.buf) }
+
+// NewMessageImage encodes a MESSAGE frame with the given headers and body
+// into a wire image. The subscription and message-id headers are reserved
+// for per-delivery routing and are dropped if present, exactly as
+// Encoder.EncodeMessage drops them; content-length is always derived from
+// body. The bytes an image puts on the wire (with routing headers spliced
+// in) are identical to EncodeMessage's for the same logical frame.
+//
+// headers and body are copied; the caller keeps ownership.
+func NewMessageImage(headers map[string]string, body []byte) *WireImage {
+	b := make([]byte, 0, imageSizeHint(headers, body))
+	b = append(b, CmdMessage...)
+	b = append(b, '\n')
+	keys := sortedHeaderKeys(make([]string, 0, len(headers)), headers, HdrContentLength)
+	for _, k := range keys {
+		if k == HdrSubscription || k == HdrMessageID {
+			continue
+		}
+		b = appendEscapedHeader(b, k)
+		b = append(b, ':')
+		b = appendEscapedHeader(b, headers[k])
+		b = append(b, '\n')
+	}
+	split := len(b)
+	b = append(b, HdrContentLength...)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(len(body)), 10)
+	b = append(b, '\n', '\n')
+	b = append(b, body...)
+	b = append(b, 0)
+	return &WireImage{buf: b, split: split}
+}
+
+// imageSizeHint estimates the encoded size so the common case builds the
+// image in a single allocation.
+func imageSizeHint(headers map[string]string, body []byte) int {
+	n := len(CmdMessage) + len(HdrContentLength) + 24 + len(body)
+	for k, v := range headers {
+		n += len(k) + len(v) + 2
+	}
+	return n
+}
+
+// EncodeImage writes a preencoded MESSAGE image to w with the per-delivery
+// subscription and message-id (idPrefix followed by the decimal seq)
+// routing headers spliced between the image's header block and its tail.
+// Only the routing headers are encoded per delivery; the shared image is
+// written as-is, so a fan-out burst pays the header/body marshalling cost
+// once per published event rather than once per session.
+func (e *Encoder) EncodeImage(w io.Writer, img *WireImage, subscription, idPrefix string, seq uint64) error {
+	if _, err := w.Write(img.Prefix()); err != nil {
+		return err
+	}
+	b := e.buf[:0]
+	b = append(b, HdrSubscription...)
+	b = append(b, ':')
+	b = appendEscapedHeader(b, subscription)
+	b = append(b, '\n')
+	b = append(b, HdrMessageID...)
+	b = append(b, ':')
+	b = appendEscapedHeader(b, idPrefix)
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, '\n')
+	if cap(b) <= maxRetainedEncodeBuf {
+		e.buf = b[:0]
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err := w.Write(img.Suffix())
+	return err
+}

@@ -83,6 +83,19 @@ func (s *Session) SendMessage(base *Frame, subscription, idPrefix string, seq ui
 	return s.fw.send(outFrame{f: base, sub: subscription, idPrefix: idPrefix, idSeq: seq})
 }
 
+// SendMessageImage queues a preencoded broadcast MESSAGE image with the
+// subscription and message-id (idPrefix + decimal seq) routing headers
+// supplied per delivery and emitted only on the wire. The image is shared
+// across all sessions delivering the same published event and is never
+// copied or mutated; only the two routing headers are encoded per
+// delivery, so fan-out to S sessions costs one marshal instead of S.
+func (s *Session) SendMessageImage(img *WireImage, subscription, idPrefix string, seq uint64) error {
+	if s.closed.Load() {
+		return net.ErrClosed
+	}
+	return s.fw.send(outFrame{img: img, sub: subscription, idPrefix: idPrefix, idSeq: seq})
+}
+
 // SendError sends an ERROR frame with the given message; the STOMP spec
 // requires the connection to close afterwards, which the server does.
 func (s *Session) SendError(msg string, body string) {

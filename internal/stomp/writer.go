@@ -21,10 +21,12 @@ const writerQueueLen = 128
 // outFrame pairs a queued frame with its flush class. For broadcast
 // MESSAGE sends, sub/idPrefix/seq carry the per-delivery routing headers
 // so the shared base frame is never cloned; the encoder emits them
-// in-line.
+// in-line. When img is set the frame is a preencoded wire image — the
+// hottest path — and only the routing headers are encoded per delivery.
 type outFrame struct {
 	f     *Frame
-	sub   string // non-empty: encode as MESSAGE with routing headers
+	img   *WireImage // non-nil: preencoded image, sub/idPrefix/idSeq route it
+	sub   string     // non-empty: encode as MESSAGE with routing headers
 	idSeq uint64
 
 	idPrefix string
@@ -154,9 +156,12 @@ func (fw *frameWriter) write(of outFrame) {
 		return // connection is dead; discard
 	}
 	var err error
-	if of.sub != "" {
+	switch {
+	case of.img != nil:
+		err = fw.enc.EncodeImage(fw.bw, of.img, of.sub, of.idPrefix, of.idSeq)
+	case of.sub != "":
 		err = fw.enc.EncodeMessage(fw.bw, of.f, of.sub, of.idPrefix, of.idSeq)
-	} else {
+	default:
 		err = fw.enc.Encode(fw.bw, of.f)
 	}
 	if err != nil {
