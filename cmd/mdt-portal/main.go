@@ -28,20 +28,23 @@ func main() {
 	seed := flag.Int64("seed", 2026, "registry generation seed")
 	password := flag.String("password", "", "account password (random default)")
 	networkBroker := flag.Bool("network-broker", false, "run units over the STOMP network broker")
+	publishWindow := flag.Int("publish-window", 0,
+		"receipt-confirmed publishes in flight per unit (with -network-broker; 0 = fire-and-forget)")
 	importEvery := flag.Duration("import-every", 0, "periodic re-import interval (0 = import once)")
 	flag.Parse()
 
-	if err := run(*httpAddr, *patients, *seed, *password, *networkBroker, *importEvery); err != nil {
+	if err := run(*httpAddr, *patients, *seed, *password, *networkBroker, *publishWindow, *importEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "mdt-portal:", err)
 		os.Exit(1)
 	}
 }
 
-func run(httpAddr string, patients int, seed int64, password string, networkBroker bool, importEvery time.Duration) error {
+func run(httpAddr string, patients int, seed int64, password string, networkBroker bool, publishWindow int, importEvery time.Duration) error {
 	d, err := mdt.Deploy(mdt.DeployConfig{
 		Registry:      maindb.Config{Seed: seed, Patients: patients},
 		Password:      password,
 		NetworkBroker: networkBroker,
+		PublishWindow: publishWindow,
 		Logf:          log.Printf,
 	})
 	if err != nil {

@@ -31,19 +31,25 @@ func main() {
 	patients := flag.Int("patients", 200, "number of synthetic patients")
 	serve := flag.Bool("serve", false, "keep serving after the walkthrough")
 	networkBroker := flag.Bool("network-broker", false, "run units over the STOMP network broker")
+	publishWindow := flag.Int("publish-window", 0,
+		"receipt-confirmed publishes in flight per unit (with -network-broker; 0 = fire-and-forget)")
 	flag.Parse()
 
-	if err := run(*patients, *serve, *networkBroker); err != nil {
+	if err := run(*patients, *serve, *networkBroker, *publishWindow); err != nil {
 		fmt.Fprintln(os.Stderr, "mdtportal:", err)
 		os.Exit(1)
 	}
 }
 
-func run(patients int, serve, networkBroker bool) error {
+func run(patients int, serve bool, networkBroker bool, publishWindow int) error {
 	fmt.Printf("deploying MDT portal (%d patients, network broker: %v)\n", patients, networkBroker)
 	d, err := mdt.Deploy(mdt.DeployConfig{
 		Registry:      maindb.Config{Seed: 2026, Patients: patients},
 		NetworkBroker: networkBroker,
+		// Units publish through the broker's windowed async fast path
+		// when enabled: pipelined receipt-confirmed SENDs instead of
+		// fire-and-forget, with Flush/Close as the delivery barrier.
+		PublishWindow: publishWindow,
 	})
 	if err != nil {
 		return err

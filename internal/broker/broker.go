@@ -36,7 +36,12 @@
 //
 // The core Broker is transport-independent; package-level Server and
 // Client types expose it over the STOMP wire protocol with the paper's
-// label-header extensions.
+// label-header extensions. The networked wire path is map-free in both
+// directions: deliveries share one preencoded MESSAGE image per published
+// event, and Client.Publish sends a frozen event's memoised SEND image
+// with no intermediate header map — optionally pipelined through a
+// receipt-confirmed publish window (ClientConfig.PublishWindow) and
+// sharded per topic (ClientConfig.PublishShards).
 package broker
 
 import (

@@ -220,6 +220,226 @@ func TestChaosShardedConsumers(t *testing.T) {
 // DISCONNECT handshake, simulating a consumer crash mid-stream.
 func abruptClose(cl *broker.Client) { cl.AbruptClose() }
 
+// TestChaosWindowedPublishers extends the chaos suite to the producer
+// fast path: windowed asynchronous publishers (sharded across publish
+// connections) pipeline receipt-tracked SENDs at a consumer engine while
+// their connections are abruptly dropped mid-batch. Under -race it
+// doubles as the data-race check for the publish window.
+//
+// The invariants: a batch whose Flush succeeded is receipt-confirmed end
+// to end, so every surviving subscription must receive each of its events
+// exactly once; a mid-batch drop must surface through Publish or Flush
+// (never be swallowed) and leave the client failing fast; and no event —
+// confirmed or not — is ever duplicated.
+func TestChaosWindowedPublishers(t *testing.T) {
+	const (
+		fanout       = 4
+		publishers   = 3
+		batch        = 20
+		confirmGoal  = 200 // confirmed events per publisher
+		dropInterval = 3   // abrupt drop every Nth batch
+	)
+
+	policy := label.NewPolicy()
+	policy.Grant("consumer", label.Clearance, label.MustParsePattern("label:conf:chaos.test/*"))
+	br := broker.New(policy)
+	defer br.Close()
+	srv, err := broker.NewServer("127.0.0.1:0", br, broker.ServerConfig{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+
+	onError := func(err error) {
+		var pe *stomp.ProtocolError
+		if errors.As(err, &pe) {
+			t.Errorf("unexpected protocol error: %v", err)
+		}
+		// Everything else — read EOFs, resets, receipt failures after a
+		// drop — is the chaos this test injects.
+	}
+
+	eng, err := engine.New(engine.Config{
+		Policy: policy,
+		Bus: func(principal string) (broker.Bus, error) {
+			return broker.DialBus(srv.Addr(), broker.ClientConfig{
+				Login:   principal,
+				Shards:  2,
+				OnError: onError,
+			})
+		},
+		QueueSize: 256,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("engine.New: %v", err)
+	}
+
+	// seen[i] counts deliveries per sequence number for subscription i;
+	// the handlers run sequentially per subscription worker, but the
+	// final check polls concurrently, so a mutex guards the maps.
+	var seenMu sync.Mutex
+	seen := make([]map[int]int, fanout)
+	for i := range seen {
+		seen[i] = make(map[int]int)
+	}
+	err = eng.AddUnit(chaosUnit{name: "consumer", init: func(ctx *engine.InitContext) error {
+		for i := 0; i < fanout; i++ {
+			i := i
+			if err := ctx.Subscribe("/chaos/win", "", func(_ *engine.Context, ev *event.Event) error {
+				seq, err := strconv.Atoi(ev.Attr("seq"))
+				if err != nil {
+					return fmt.Errorf("bad seq attr %q: %v", ev.Attr("seq"), err)
+				}
+				seenMu.Lock()
+				seen[i][seq]++
+				seenMu.Unlock()
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatalf("AddUnit: %v", err)
+	}
+
+	// confirmed collects the sequence numbers of every batch whose Flush
+	// barrier succeeded: those publishes are broker-acknowledged and must
+	// reach every surviving subscription.
+	var confirmedMu sync.Mutex
+	confirmed := make(map[int]struct{})
+	var seq atomic.Int64
+	lbl := label.Conf("chaos.test/records")
+
+	var pubWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubWG.Add(1)
+		go func(p int) {
+			defer pubWG.Done()
+			dial := func() *broker.Client {
+				cl, err := broker.DialBus(srv.Addr(), broker.ClientConfig{
+					Login:         "pub-" + strconv.Itoa(p),
+					PublishWindow: 8,
+					PublishShards: 2,
+					SendTimeout:   5 * time.Second,
+					OnError:       onError,
+				})
+				if err != nil {
+					t.Errorf("publisher %d dial: %v", p, err)
+					return nil
+				}
+				return cl
+			}
+			cl := dial()
+			if cl == nil {
+				return
+			}
+			defer func() { _ = cl.Close() }()
+
+			done := 0
+			for iter := 0; done < confirmGoal; iter++ {
+				drop := iter%dropInterval == dropInterval-1
+				seqs := make([]int, 0, batch)
+				failed := false
+				for n := 0; n < batch; n++ {
+					if drop && n == batch/2 {
+						// Mid-batch crash: every connection dies with
+						// receipts still in flight.
+						abruptClose(cl)
+					}
+					s := int(seq.Add(1) - 1)
+					ev := event.New("/chaos/win",
+						map[string]string{"seq": strconv.Itoa(s)}, lbl)
+					if err := cl.Publish(ev); err != nil {
+						failed = true
+						break
+					}
+					seqs = append(seqs, s)
+				}
+				flushErr := cl.Flush()
+				switch {
+				case drop:
+					// The drop must be reported by Publish or Flush, and
+					// the window must stay failed afterwards.
+					if !failed && flushErr == nil {
+						t.Errorf("publisher %d: dropped batch reported no error", p)
+					}
+					if err := cl.Publish(event.New("/chaos/win", nil, lbl)); err == nil {
+						t.Errorf("publisher %d: Publish after drop succeeded; want sticky error", p)
+					}
+					cl = dial()
+					if cl == nil {
+						return
+					}
+				case failed || flushErr != nil:
+					// Collateral damage from a previous drop racing the
+					// redial; retry on a fresh connection.
+					_ = cl.Close()
+					cl = dial()
+					if cl == nil {
+						return
+					}
+				default:
+					confirmedMu.Lock()
+					for _, s := range seqs {
+						confirmed[s] = struct{}{}
+					}
+					confirmedMu.Unlock()
+					done += len(seqs)
+				}
+			}
+		}(p)
+	}
+	pubWG.Wait()
+
+	confirmedMu.Lock()
+	want := make([]int, 0, len(confirmed))
+	for s := range confirmed {
+		want = append(want, s)
+	}
+	confirmedMu.Unlock()
+	if len(want) < publishers*confirmGoal {
+		t.Fatalf("only %d confirmed publishes, want >= %d", len(want), publishers*confirmGoal)
+	}
+
+	// Every confirmed publish must reach every subscription.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		missing := 0
+		seenMu.Lock()
+		for i := 0; i < fanout; i++ {
+			for _, s := range want {
+				if seen[i][s] == 0 {
+					missing++
+				}
+			}
+		}
+		seenMu.Unlock()
+		if missing == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d confirmed deliveries still missing", missing)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Settle, then check nothing was delivered twice — confirmed or not.
+	time.Sleep(100 * time.Millisecond)
+	eng.Stop()
+
+	seenMu.Lock()
+	defer seenMu.Unlock()
+	for i := 0; i < fanout; i++ {
+		for s, n := range seen[i] {
+			if n != 1 {
+				t.Errorf("subscription %d: seq %d delivered %d times, want exactly once", i, s, n)
+			}
+		}
+	}
+}
+
 // chaosUnit adapts a name and init function to engine.Unit.
 type chaosUnit struct {
 	name string

@@ -3,6 +3,7 @@ package broker
 import (
 	"crypto/tls"
 	"errors"
+	"fmt"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -33,11 +34,45 @@ type ClientConfig struct {
 	// wire-identical to the pre-sharding client). Subscriptions are placed
 	// round-robin and each lives wholly on one connection, so wire bytes
 	// and per-subscription delivery order are unchanged; publishes always
-	// travel on the first connection, preserving publish order. Sharding
-	// pays off for subscription-heavy consumers: frame decoding spreads
-	// across per-connection read loops and broker-side encoding across
-	// per-session coalescing writers.
+	// travel on the first connection (unless PublishShards spreads them),
+	// preserving publish order. Sharding pays off for subscription-heavy
+	// consumers: frame decoding spreads across per-connection read loops
+	// and broker-side encoding across per-session coalescing writers.
 	Shards int
+
+	// PublishWindow enables windowed asynchronous publishing when > 0:
+	// every publish is a receipt-tracked SEND, and up to PublishWindow of
+	// them may be in flight per publish connection before Publish blocks
+	// on the oldest outstanding confirmation. Publishes still enter their
+	// connection's single write queue in call order, so per-client (and
+	// per-topic, under PublishShards) publish ordering is unchanged — the
+	// window removes the per-publish round trip, not the ordering. The
+	// first broker error (receipt timeout, connection loss, server
+	// rejection) is sticky: later Publish calls fail fast with it and
+	// Flush reports it. Zero keeps today's behaviour: a synchronous
+	// receipt per publish when SendTimeout > 0, fire-and-forget SENDs
+	// otherwise. SendTimeout bounds each windowed receipt wait (zero
+	// means 10 seconds).
+	//
+	// Windowed publishes travel on dedicated connections, disjoint from
+	// the subscription connections: a consumer stalled on a full engine
+	// queue backpressures its connection's read loop, and a RECEIPT stuck
+	// behind undelivered MESSAGE frames there would deadlock the window
+	// against the very callback waiting on it.
+	PublishWindow int
+
+	// PublishShards spreads publishes across that many connections,
+	// mirroring Shards on the consumer side; 0 or 1 pins all publishes to
+	// one connection (the default). Each topic is pinned to one
+	// connection by hash, so per-topic publish order is preserved;
+	// publishes to different topics may interleave differently than on a
+	// single connection. Without PublishWindow the client dials
+	// max(Shards, PublishShards) connections and publish traffic shares
+	// the first PublishShards of them with subscriptions (wire-compatible
+	// with the pre-sharding client); with PublishWindow the publish
+	// connections are dialled in addition to the Shards subscription
+	// connections (see PublishWindow).
+	PublishShards int
 }
 
 // ErrUnknownSubscription is returned by Unsubscribe for an id this client
@@ -51,9 +86,12 @@ var ErrUnknownSubscription = errors.New("broker: unknown subscription id")
 // zone from the broker, as in the paper's ECRIC deployment where the event
 // broker is a separate service inside the Intranet (Fig. 4).
 type Client struct {
-	cfg    ClientConfig
-	shards []*clientShard
-	rr     atomic.Uint64 // round-robin subscription placement
+	cfg      ClientConfig
+	shards   []*clientShard
+	subConns int // subscriptions round-robin across shards[:subConns]
+	pubBase  int // publishes pinned by topic hash across shards[pubBase:pubBase+pubConns]
+	pubConns int
+	rr       atomic.Uint64 // round-robin subscription placement
 
 	mu   sync.Mutex
 	subs map[string]shardSub // qualified id -> placement
@@ -68,6 +106,121 @@ type clientShard struct {
 	// shard's deliveries. All of the shard's subscription handlers run on
 	// its connection read goroutine, so the cache is goroutine-confined.
 	cache event.DecodeCache
+
+	// win is the connection's publish window; nil unless PublishWindow is
+	// enabled and this connection carries publishes.
+	win *pubWindow
+}
+
+// pubWindow tracks the receipt-confirmed SENDs in flight on one publish
+// connection. Receipts complete in send order (the broker processes a
+// connection's frames sequentially), so the in-flight set is a FIFO and
+// waiting on its head bounds the window. The first failure is sticky:
+// once a receipt is refused, times out, or the connection dies, every
+// later publish on this window fails fast with that error and Flush
+// reports it — a windowed producer can pipeline without ever having an
+// error swallowed between two Flush calls.
+type pubWindow struct {
+	size    int
+	timeout time.Duration
+
+	mu       sync.Mutex
+	inflight []*stomp.Receipt // FIFO; head..len(inflight) outstanding
+	head     int
+	err      error // sticky first failure
+}
+
+// publish sends one image through the window, blocking while the window
+// is full. The window mutex also serialises enqueueing, preserving the
+// caller-observed publish order on the connection.
+func (w *pubWindow) publish(conn *stomp.Client, img *stomp.WireImage) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	for len(w.inflight)-w.head >= w.size {
+		if err := w.waitHeadLocked(); err != nil {
+			return err
+		}
+	}
+	r, err := conn.SendImageAsync(img)
+	if err != nil {
+		w.err = fmt.Errorf("broker: windowed publish: %w", err)
+		return w.err
+	}
+	switch {
+	case w.head == len(w.inflight):
+		w.inflight = w.inflight[:0]
+		w.head = 0
+	case w.head >= w.size:
+		// Compact the settled prefix so a continuously publishing window
+		// keeps the slice (and the receipts the dead prefix would pin)
+		// bounded by the window size, not by total publishes.
+		n := copy(w.inflight, w.inflight[w.head:])
+		clear(w.inflight[n:])
+		w.inflight = w.inflight[:n]
+		w.head = 0
+	}
+	w.inflight = append(w.inflight, r)
+	return nil
+}
+
+// waitHeadLocked settles the oldest outstanding receipt. On failure the
+// error becomes sticky and the remaining in-flight receipts are dropped:
+// the connection is dead or wedged, and their confirmations can never
+// arrive out of order with the one that failed.
+func (w *pubWindow) waitHeadLocked() error {
+	r := w.inflight[w.head]
+	w.inflight[w.head] = nil // settled receipts must not linger in the FIFO
+	w.head++
+	if err := r.Wait(w.timeout); err != nil {
+		w.err = fmt.Errorf("broker: windowed publish: %w", err)
+		w.inflight = w.inflight[:0]
+		w.head = 0
+		return w.err
+	}
+	return nil
+}
+
+// stickyErr returns the window's sticky failure, if any. Publish checks
+// it before freezing the event, so a fail-fast rejection leaves the
+// caller's event mutable for annotation and republish elsewhere.
+func (w *pubWindow) stickyErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// publishSync runs one synchronous legacy-fallback publish under the
+// window's sticky-error discipline: a failed window stays failed for
+// every publish, whichever encoding path it takes, and a failure here
+// fails the window too. The mutex is held across the receipt wait, which
+// also keeps the fallback ordered against concurrent windowed publishes.
+func (w *pubWindow) publishSync(send func() error) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if err := send(); err != nil {
+		w.err = fmt.Errorf("broker: windowed publish: %w", err)
+		return w.err
+	}
+	return nil
+}
+
+// flush settles every outstanding receipt and returns the window's sticky
+// error, if any.
+func (w *pubWindow) flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.err == nil && w.head < len(w.inflight) {
+		_ = w.waitHeadLocked() // error is sticky; loop exits on it
+	}
+	w.inflight = w.inflight[:0]
+	w.head = 0
+	return w.err
 }
 
 // shardSub records where a subscription lives so Unsubscribe can route to
@@ -79,14 +232,29 @@ type shardSub struct {
 
 var _ Bus = (*Client)(nil)
 
-// DialBus connects to a broker server, establishing cfg.Shards STOMP
-// connections (one by default).
+// DialBus connects to a broker server. It establishes
+// max(cfg.Shards, cfg.PublishShards) STOMP connections (one by default),
+// plus cfg.PublishShards dedicated publish connections when windowed
+// publishing is enabled (see ClientConfig.PublishWindow).
 func DialBus(addr string, cfg ClientConfig) (*Client, error) {
-	n := cfg.Shards
-	if n < 1 {
-		n = 1
+	subConns := cfg.Shards
+	if subConns < 1 {
+		subConns = 1
 	}
-	c := &Client{cfg: cfg, subs: make(map[string]shardSub)}
+	pubConns := cfg.PublishShards
+	if pubConns < 1 {
+		pubConns = 1
+	}
+	n, pubBase := subConns, 0
+	if cfg.PublishWindow > 0 {
+		// Windowed receipts must never queue behind undelivered MESSAGE
+		// frames: publish connections are their own.
+		n, pubBase = subConns+pubConns, subConns
+	} else if pubConns > n {
+		n = pubConns
+	}
+	c := &Client{cfg: cfg, subConns: subConns, pubBase: pubBase, pubConns: pubConns,
+		subs: make(map[string]shardSub)}
 	for i := 0; i < n; i++ {
 		sc, err := stomp.Dial(addr, stomp.ClientConfig{
 			Login:    cfg.Login,
@@ -100,24 +268,118 @@ func DialBus(addr string, cfg ClientConfig) (*Client, error) {
 			}
 			return nil, err
 		}
-		c.shards = append(c.shards, &clientShard{conn: sc})
+		sh := &clientShard{conn: sc}
+		if cfg.PublishWindow > 0 && i >= pubBase {
+			sh.win = &pubWindow{size: cfg.PublishWindow, timeout: cfg.SendTimeout}
+		}
+		c.shards = append(c.shards, sh)
 	}
 	return c, nil
 }
 
-// Publish implements Bus. Publishes always use the first connection so
-// that events published by one client reach the broker in publish order.
+// Publish implements Bus via the producer fast path: the event is frozen
+// (publishers must not mutate it afterwards, exactly as with an
+// in-process Broker.Publish) and its memoised SEND wire image goes
+// straight to the connection's coalescing writer — no header map, no
+// frame, and for repeated publishes of one event no re-encoding. Wire
+// bytes are byte-identical to the legacy map path; events whose
+// attribute names collide with transport headers take that legacy path
+// so their (map overwrite) wire semantics are preserved.
+//
+// Publishes are pinned to the first connection — or, with PublishShards,
+// to a per-topic connection — so the broker observes one client's
+// publishes to a topic in publish order. With PublishWindow the SEND is
+// receipt-tracked and pipelined; otherwise SendTimeout selects between a
+// synchronous receipt and fire-and-forget.
+//
+// A publish the client can prove never reached the wire — a validation
+// failure, or the fail-fast rejection of an already-failed window —
+// leaves the event unfrozen (as Broker.Publish leaves rejected events
+// mutable); any publish handed to a connection freezes it, because the
+// bytes may be with the broker even when an error is reported.
 func (c *Client) Publish(ev *event.Event) error {
+	if err := ev.Validate(); err != nil {
+		return err
+	}
+	sh := c.shards[c.pubShard(ev.Topic)]
+	if sh.win != nil {
+		if err := sh.win.stickyErr(); err != nil {
+			return err
+		}
+	}
+	ev.Freeze()
+	img, err := ev.SendImage()
+	if err != nil {
+		if errors.Is(err, event.ErrTransportAttr) {
+			return c.publishLegacy(ev)
+		}
+		return err
+	}
+	switch {
+	case sh.win != nil:
+		return sh.win.publish(sh.conn, img)
+	case c.cfg.SendTimeout > 0:
+		return sh.conn.SendImageReceipt(img, c.cfg.SendTimeout)
+	default:
+		return sh.conn.SendImage(img)
+	}
+}
+
+// publishLegacy is the header-map SEND path, kept for events whose
+// attribute names collide with transport headers (ErrTransportAttr): the
+// map's overwrite semantics — destination clobbers a same-named
+// attribute, a synchronous receipt clobbers a "receipt" attribute — are
+// part of the legacy wire behaviour and must not silently change.
+func (c *Client) publishLegacy(ev *event.Event) error {
 	headers, body, err := event.MarshalHeaders(ev)
 	if err != nil {
 		return err
 	}
 	dest := headers[event.HeaderDestination]
 	delete(headers, event.HeaderDestination)
-	if c.cfg.SendTimeout > 0 {
-		return c.shards[0].conn.SendReceipt(dest, headers, body, c.cfg.SendTimeout)
+	sh := c.shards[c.pubShard(ev.Topic)]
+	if sh.win != nil {
+		return sh.win.publishSync(func() error {
+			return sh.conn.SendReceipt(dest, headers, body, c.cfg.SendTimeout)
+		})
 	}
-	return c.shards[0].conn.Send(dest, headers, body)
+	if c.cfg.SendTimeout > 0 {
+		return sh.conn.SendReceipt(dest, headers, body, c.cfg.SendTimeout)
+	}
+	return sh.conn.Send(dest, headers, body)
+}
+
+// pubShard pins a topic to one publish connection.
+func (c *Client) pubShard(topic string) int {
+	if c.pubConns <= 1 {
+		return c.pubBase
+	}
+	// FNV-1a over the topic: cheap, allocation-free, stable.
+	h := uint32(2166136261)
+	for i := 0; i < len(topic); i++ {
+		h ^= uint32(topic[i])
+		h *= 16777619
+	}
+	return c.pubBase + int(h%uint32(c.pubConns))
+}
+
+// Flush blocks until every windowed publish accepted so far is confirmed
+// by the broker, returning the first error any publish connection hit
+// (receipt refused, timed out, or connection lost). Without PublishWindow
+// it is a no-op: synchronous and fire-and-forget publishes have nothing
+// outstanding to settle. The error is sticky — once a window fails, Flush
+// and Publish keep reporting it; reconnect to recover.
+func (c *Client) Flush() error {
+	var first error
+	for _, sh := range c.shards {
+		if sh.win == nil {
+			continue
+		}
+		if err := sh.win.flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Subscribe implements Bus. The subscription is placed on one connection
@@ -126,8 +388,8 @@ func (c *Client) Publish(ev *event.Event) error {
 // body ownership handed to the event.
 func (c *Client) Subscribe(topic, sel string, handler Handler) (string, error) {
 	idx := 0
-	if len(c.shards) > 1 {
-		idx = int((c.rr.Add(1) - 1) % uint64(len(c.shards)))
+	if c.subConns > 1 {
+		idx = int((c.rr.Add(1) - 1) % uint64(c.subConns))
 	}
 	sh := c.shards[idx]
 	raw, err := sh.conn.SubscribeView(topic, sel, nil, func(v *stomp.FrameView) {
@@ -148,7 +410,7 @@ func (c *Client) Subscribe(topic, sel string, handler Handler) (string, error) {
 		return "", err
 	}
 	id := raw
-	if len(c.shards) > 1 {
+	if c.subConns > 1 {
 		// Connection-local ids ("sub-1") repeat across shards; qualify.
 		id = "s" + strconv.Itoa(idx) + ":" + raw
 	}
@@ -165,7 +427,7 @@ func (c *Client) Unsubscribe(id string) error {
 	delete(c.subs, id)
 	c.mu.Unlock()
 	if !ok {
-		if len(c.shards) > 1 {
+		if c.subConns > 1 {
 			// An unqualified id must not be forwarded to an arbitrary
 			// shard: connection-local ids ("sub-1") repeat across shards,
 			// so shard 0 may hold a different live subscription under the
@@ -180,8 +442,13 @@ func (c *Client) Unsubscribe(id string) error {
 	return c.shards[ref.shard].conn.Unsubscribe(ref.raw)
 }
 
-// Close implements Bus with a graceful disconnect of every shard.
+// Close implements Bus with a graceful disconnect of every shard. It is
+// a publish barrier: outstanding windowed publishes are flushed first, so
+// a producer that closes cleanly knows every accepted publish reached the
+// broker — a Flush error (some publish was never confirmed) is reported
+// in preference to disconnect errors.
 func (c *Client) Close() error {
+	flushErr := c.Flush()
 	errs := make([]error, len(c.shards))
 	var wg sync.WaitGroup
 	for i, sh := range c.shards {
@@ -192,6 +459,9 @@ func (c *Client) Close() error {
 		}(i, sh)
 	}
 	wg.Wait()
+	if flushErr != nil {
+		return flushErr
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -30,16 +30,22 @@ func (u pipeUnit) Init(ctx *engine.InitContext) error { return u.init(ctx) }
 // the consumer, so the benchmark exercises STOMP framing, per-connection
 // writes and engine dispatch — everything between two networked units.
 func BenchmarkNetworkPipeline(b *testing.B) {
-	for _, bc := range []struct{ fanout, shards int }{
-		{1, 1}, {10, 1}, {100, 1}, {100, 4},
+	for _, bc := range []struct{ fanout, shards, window int }{
+		{1, 1, 0}, {1, 1, 64}, {10, 1, 0}, {100, 1, 0}, {100, 4, 0},
 	} {
-		fanout, shards := bc.fanout, bc.shards
+		fanout, shards, window := bc.fanout, bc.shards, bc.window
 		name := fmt.Sprintf("fanout=%d", fanout)
 		if shards > 1 {
 			// The sharded variant spreads the consumer's subscriptions
 			// over several STOMP connections; shards=1 keeps the
 			// historical single-connection series comparable.
 			name += fmt.Sprintf("/shards=%d", shards)
+		}
+		if window > 0 {
+			// The windowed variant publishes through receipt-tracked
+			// pipelined SENDs; window=0 keeps the historical
+			// fire-and-forget series comparable.
+			name += fmt.Sprintf("/window=%d", window)
 		}
 		b.Run(name, func(b *testing.B) {
 			policy := label.NewPolicy()
@@ -59,11 +65,16 @@ func BenchmarkNetworkPipeline(b *testing.B) {
 				e, err := engine.New(engine.Config{
 					Policy: policy,
 					Bus: func(principal string) (broker.Bus, error) {
-						return broker.DialBus(srv.Addr(), broker.ClientConfig{
+						cfg := broker.ClientConfig{
 							Login:   principal,
 							Shards:  busShards,
 							OnError: func(err error) { b.Logf("bus error: %v", err) },
-						})
+						}
+						if window > 0 {
+							cfg.PublishWindow = window
+							cfg.SendTimeout = 10 * time.Second
+						}
+						return broker.DialBus(srv.Addr(), cfg)
 					},
 					QueueSize: 1024,
 					Logf:      b.Logf,

@@ -1,0 +1,110 @@
+package broker
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"testing"
+
+	"safeweb/internal/event"
+	"safeweb/internal/label"
+)
+
+// discardBroker is a minimal STOMP endpoint for publish-side allocation
+// measurements: it completes the CONNECT handshake and then discards all
+// inbound bytes. Running the real server here would add its own decode
+// and routing allocations to the process-wide counters AllocsPerRun
+// reads, hiding what the client costs.
+func discardBroker(t testing.TB) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				if _, err := br.ReadBytes(0); err != nil { // CONNECT frame
+					return
+				}
+				if _, err := conn.Write([]byte("CONNECTED\nsession:1\nversion:1.1\ncontent-length:0\n\n\x00")); err != nil {
+					return
+				}
+				_, _ = io.Copy(io.Discard, br)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// benchEvent builds the publish-path regression shape: a labelled,
+// attr-carrying event with a small body.
+func benchEvent() *event.Event {
+	ev := event.New("/patient_report",
+		map[string]string{"patient_id": "33812769", "type": "cancer"},
+		label.Conf("ecric.org.uk/mdt/7"))
+	ev.Body = []byte(`{"summary": "report", "mdt": 7}`)
+	return ev
+}
+
+// TestClientPublishAllocs pins the producer fast path's allocation budget
+// in the style of the DecodeView/EncodeImage tests: once an event's SEND
+// image is memoised, republishing it must not allocate at all (budget
+// ≤ 1 alloc/op guards against regression, steady state is 0), and the
+// fast path must cost at most half of what the legacy map path pays for
+// the same publish — the ISSUE's ≥50% per-publish allocation reduction,
+// asserted structurally.
+func TestClientPublishAllocs(t *testing.T) {
+	c, err := DialBus(discardBroker(t), ClientConfig{Login: "producer"})
+	if err != nil {
+		t.Fatalf("DialBus: %v", err)
+	}
+	defer func() { _ = c.shards[0].conn.Close() }() // no DISCONNECT: the sink never replies
+
+	ev := benchEvent()
+	if err := c.Publish(ev); err != nil { // freeze + warm the image memo
+		t.Fatalf("Publish: %v", err)
+	}
+	fast := testing.AllocsPerRun(500, func() {
+		if err := c.Publish(ev); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	})
+	if fast > 1 {
+		t.Errorf("steady-state Publish allocs/op = %g, want <= 1", fast)
+	}
+
+	legacy := testing.AllocsPerRun(500, func() {
+		if err := c.publishLegacy(ev); err != nil {
+			t.Fatalf("publishLegacy: %v", err)
+		}
+	})
+	if fast > legacy/2 {
+		t.Errorf("fast path = %g allocs/op, legacy = %g: want fast <= legacy/2", fast, legacy)
+	}
+
+	// Cold events (image built on first publish) must still undercut the
+	// legacy path, which re-marshals map and frame every time.
+	events := make([]*event.Event, 600)
+	for i := range events {
+		events[i] = benchEvent()
+	}
+	i := 0
+	cold := testing.AllocsPerRun(500, func() {
+		if err := c.Publish(events[i]); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		i++
+	})
+	t.Logf("Publish allocs/op: steady-state %g, cold %g, legacy %g", fast, cold, legacy)
+	if cold > legacy {
+		t.Errorf("cold-event fast path = %g allocs/op, legacy = %g: want fast <= legacy", cold, legacy)
+	}
+}

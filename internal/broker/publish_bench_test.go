@@ -1,0 +1,82 @@
+package broker_test
+
+import (
+	"testing"
+	"time"
+
+	"safeweb/internal/broker"
+	"safeweb/internal/event"
+	"safeweb/internal/label"
+)
+
+// BenchmarkClientPublish measures the producer-bound half of the wire in
+// isolation: one networked client publishing labelled, attr-carrying
+// events into the broker's STOMP front (no subscribers — the fan-out side
+// has its own benchmarks). Modes compare the publish disciplines: sync
+// pays a receipt round trip per publish, window pipelines receipt-tracked
+// publishes through the coalescing writer, fireforget sends without
+// receipts. All modes wait for the broker to have accepted every publish
+// before the clock stops, so events/s is ingest throughput, not enqueue
+// rate.
+func BenchmarkClientPublish(b *testing.B) {
+	for _, bc := range []struct {
+		name      string
+		window    int
+		pubShards int
+		timeout   time.Duration
+	}{
+		{name: "sync", timeout: 5 * time.Second},
+		{name: "window=64", window: 64, timeout: 5 * time.Second},
+		{name: "window=64/pubshards=2", window: 64, pubShards: 2, timeout: 5 * time.Second},
+		{name: "fireforget"},
+	} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			policy := label.NewPolicy()
+			br := broker.New(policy)
+			defer br.Close()
+			srv, err := broker.NewServer("127.0.0.1:0", br, broker.ServerConfig{Logf: b.Logf})
+			if err != nil {
+				b.Fatalf("NewServer: %v", err)
+			}
+			defer srv.Close()
+
+			cl, err := broker.DialBus(srv.Addr(), broker.ClientConfig{
+				Login:         "producer",
+				PublishWindow: bc.window,
+				PublishShards: bc.pubShards,
+				SendTimeout:   bc.timeout,
+				OnError:       func(err error) { b.Logf("bus error: %v", err) },
+			})
+			if err != nil {
+				b.Fatalf("DialBus: %v", err)
+			}
+			defer cl.Close()
+
+			payload := []byte(`{"patient_id": 33812769, "type": "cancer", "summary": "report"}`)
+			mdt := label.Conf("ecric.org.uk/mdt/7")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev := event.New("/bench/ingest",
+					map[string]string{"type": "cancer"}, mdt)
+				ev.Body = payload
+				if err := cl.Publish(ev); err != nil {
+					b.Fatalf("Publish: %v", err)
+				}
+			}
+			if err := cl.Flush(); err != nil {
+				b.Fatalf("Flush: %v", err)
+			}
+			deadline := time.Now().Add(2 * time.Minute)
+			for br.Stats().Published < uint64(b.N) {
+				if time.Now().After(deadline) {
+					b.Fatalf("broker accepted %d of %d publishes", br.Stats().Published, b.N)
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

@@ -1,0 +1,360 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"safeweb/internal/event"
+	"safeweb/internal/label"
+)
+
+// TestPublishWindowedOrderingAndFlush: a windowed producer pipelines
+// receipt-tracked publishes; the Flush barrier confirms them all, and the
+// subscriber observes every event in publish order.
+func TestPublishWindowedOrderingAndFlush(t *testing.T) {
+	_, srv := startNetBroker(t)
+	consumer := dialBus(t, srv.Addr(), "cleared")
+
+	producer, err := DialBus(srv.Addr(), ClientConfig{
+		Login:         "producer",
+		PublishWindow: 8,
+		SendTimeout:   5 * time.Second,
+		OnError:       func(err error) { t.Logf("producer error: %v", err) },
+	})
+	if err != nil {
+		t.Fatalf("DialBus: %v", err)
+	}
+	t.Cleanup(func() { _ = producer.Close() })
+
+	var mu sync.Mutex
+	var seqs []int
+	if _, err := consumer.Subscribe("/win/out", "", func(ev *event.Event) {
+		n, _ := strconv.Atoi(ev.Attr("seq"))
+		mu.Lock()
+		seqs = append(seqs, n)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	const total = 200
+	for i := 0; i < total; i++ {
+		ev := event.New("/win/out", map[string]string{"seq": strconv.Itoa(i)},
+			label.Conf("ecric.org.uk/mdt/7"))
+		if err := producer.Publish(ev); err != nil {
+			t.Fatalf("Publish %d: %v", i, err)
+		}
+	}
+	if err := producer.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	waitFor(t, "all windowed publishes delivered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seqs) == total
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, n := range seqs {
+		if n != i {
+			t.Fatalf("delivery %d carries seq %d; want publish order preserved", i, n)
+		}
+	}
+}
+
+// TestPublishWindowSurfacesBrokerError: a broker rejection mid-window
+// (here an integrity label the principal may not endorse, which makes the
+// server error the connection) must surface through the Flush barrier and
+// make later publishes fail fast — never be swallowed.
+func TestPublishWindowSurfacesBrokerError(t *testing.T) {
+	_, srv := startNetBroker(t)
+	producer, err := DialBus(srv.Addr(), ClientConfig{
+		Login:         "producer", // has no endorsement privilege
+		PublishWindow: 4,
+		SendTimeout:   2 * time.Second,
+		OnError:       func(err error) { t.Logf("producer error: %v", err) },
+	})
+	if err != nil {
+		t.Fatalf("DialBus: %v", err)
+	}
+	t.Cleanup(func() { producer.AbruptClose() }) // the window is failed; no graceful barrier
+
+	forged := event.New("/t", nil, label.Int("ecric.org.uk/mdt"))
+	if err := producer.Publish(forged); err != nil {
+		// Accepted asynchronously or refused already — both are fine, as
+		// long as the failure is reported by the barrier below.
+		t.Logf("Publish returned synchronously: %v", err)
+	}
+	if err := producer.Flush(); err == nil {
+		t.Fatal("Flush swallowed the broker rejection; want an error")
+	}
+	rejected := event.New("/t", nil)
+	if err := producer.Publish(rejected); err == nil {
+		t.Fatal("Publish after window failure succeeded; want sticky fail-fast error")
+	}
+	// The fail-fast rejection proved the event never reached the wire, so
+	// it must stay mutable for annotation and republish elsewhere.
+	if err := rejected.Set("retry", "1"); err != nil {
+		t.Errorf("fail-fast-rejected event is frozen: %v", err)
+	}
+	// The legacy fallback (transport-colliding attr) must honour the
+	// sticky error too: a failed window fails every publish, whichever
+	// encoding path the event takes.
+	collide := event.New("/t", map[string]string{"ack": "client"})
+	if err := producer.Publish(collide); err == nil {
+		t.Fatal("legacy-fallback Publish bypassed the window's sticky error")
+	}
+	if err := producer.Flush(); err == nil {
+		t.Fatal("second Flush lost the sticky error")
+	}
+}
+
+// TestPublishWindowBoundedInflight: a continuously publishing window must
+// not grow its receipt FIFO with total publishes — settled receipts are
+// compacted away, keeping memory bounded by the window size.
+func TestPublishWindowBoundedInflight(t *testing.T) {
+	_, srv := startNetBroker(t)
+	producer, err := DialBus(srv.Addr(), ClientConfig{
+		Login:         "producer",
+		PublishWindow: 8,
+		SendTimeout:   5 * time.Second,
+		OnError:       func(err error) { t.Logf("producer error: %v", err) },
+	})
+	if err != nil {
+		t.Fatalf("DialBus: %v", err)
+	}
+	t.Cleanup(func() { _ = producer.Close() })
+
+	for i := 0; i < 500; i++ { // no Flush: steady-state pipelining
+		if err := producer.Publish(event.New("/bounded", nil)); err != nil {
+			t.Fatalf("Publish %d: %v", i, err)
+		}
+	}
+	win := producer.shards[producer.pubBase].win
+	win.mu.Lock()
+	length, head := len(win.inflight), win.head
+	win.mu.Unlock()
+	if outstanding := length - head; outstanding > win.size {
+		t.Errorf("window holds %d outstanding receipts, want <= %d", outstanding, win.size)
+	}
+	if length > 2*win.size {
+		t.Errorf("inflight FIFO grew to %d entries over 500 publishes, want <= %d (compacted)",
+			length, 2*win.size)
+	}
+	if err := producer.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+}
+
+// TestPublishFreezeNoMutation pins the publish-side aliasing contract:
+// Publish freezes the caller's event but must not otherwise mutate any
+// caller-visible state — no attribute map rewrite, no body copy, no
+// transport headers leaking into Attrs — on the fast path and on the
+// legacy fallback alike.
+func TestPublishFreezeNoMutation(t *testing.T) {
+	_, srv := startNetBroker(t)
+	producer := dialBus(t, srv.Addr(), "producer")
+
+	check := func(name string, ev *event.Event) {
+		t.Helper()
+		attrsBefore := make(map[string]string, len(ev.Attrs))
+		for k, v := range ev.Attrs {
+			attrsBefore[k] = v
+		}
+		attrsPtr := reflect.ValueOf(ev.Attrs).Pointer()
+		bodyBefore := ev.Body
+		labelsBefore := ev.Labels
+
+		if err := producer.Publish(ev); err != nil {
+			t.Fatalf("%s: Publish: %v", name, err)
+		}
+		if err := ev.Set("late", "write"); !errors.Is(err, event.ErrFrozen) {
+			t.Errorf("%s: Set after Publish = %v, want ErrFrozen", name, err)
+		}
+		if reflect.ValueOf(ev.Attrs).Pointer() != attrsPtr {
+			t.Errorf("%s: Publish replaced the attribute map", name)
+		}
+		if !reflect.DeepEqual(ev.Attrs, attrsBefore) {
+			t.Errorf("%s: Publish mutated attrs: %v, want %v", name, ev.Attrs, attrsBefore)
+		}
+		if len(bodyBefore) > 0 && &ev.Body[0] != &bodyBefore[0] {
+			t.Errorf("%s: Publish replaced the body", name)
+		}
+		if !ev.Labels.Equal(labelsBefore) {
+			t.Errorf("%s: Publish changed the label set", name)
+		}
+	}
+
+	fast := event.New("/patient_report",
+		map[string]string{"patient_id": "1", "type": "cancer"},
+		label.Conf("ecric.org.uk/mdt/7"))
+	fast.Body = []byte(`{"summary": "report"}`)
+	check("fast path", fast)
+
+	// "receipt" collides with a transport header: this publish takes the
+	// legacy map path, which historically deleted the destination key from
+	// its own marshalled map — that deletion must never reach the event.
+	fallback := event.New("/patient_report",
+		map[string]string{"receipt": "app-data", "type": "cancer"},
+		label.Conf("ecric.org.uk/mdt/7"))
+	check("legacy fallback", fallback)
+}
+
+// TestPublishTransportAttrFallback: events whose attributes collide with
+// transport headers still publish (via the legacy map path) with the
+// legacy wire semantics — the destination header wins over a same-named
+// attribute, and transport-named attributes do not reappear on delivery.
+func TestPublishTransportAttrFallback(t *testing.T) {
+	_, srv := startNetBroker(t)
+	consumer := dialBus(t, srv.Addr(), "cleared")
+	producer := dialBus(t, srv.Addr(), "producer")
+
+	received := make(chan *event.Event, 4)
+	if _, err := consumer.Subscribe("/real", "", func(ev *event.Event) {
+		received <- ev
+	}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	evil := make(chan *event.Event, 4)
+	if _, err := consumer.Subscribe("/evil", "", func(ev *event.Event) {
+		evil <- ev
+	}); err != nil {
+		t.Fatalf("Subscribe /evil: %v", err)
+	}
+
+	ev := event.New("/real", map[string]string{"destination": "/evil", "k": "v"})
+	if err := producer.Publish(ev); err != nil {
+		t.Fatalf("Publish: %v", err)
+	}
+
+	select {
+	case got := <-received:
+		if got.Topic != "/real" {
+			t.Errorf("delivered on topic %q, want /real", got.Topic)
+		}
+		if got.Attr("k") != "v" {
+			t.Errorf("attr k = %q, want v", got.Attr("k"))
+		}
+		if _, ok := got.Get("destination"); ok {
+			t.Error("transport-named attribute leaked into the delivered event")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event with transport-named attribute never delivered")
+	}
+	select {
+	case <-evil:
+		t.Fatal("event delivered to the attribute's destination; the topic must win")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestPublishShardsTopicPinning: with PublishShards, publishes to one
+// topic stay on one connection, so per-topic order is preserved even
+// though topics spread across connections.
+func TestPublishShardsTopicPinning(t *testing.T) {
+	_, srv := startNetBroker(t)
+	consumer := dialBus(t, srv.Addr(), "cleared")
+
+	producer, err := DialBus(srv.Addr(), ClientConfig{
+		Login:         "producer",
+		PublishShards: 3,
+		PublishWindow: 4,
+		SendTimeout:   5 * time.Second,
+		OnError:       func(err error) { t.Logf("producer error: %v", err) },
+	})
+	if err != nil {
+		t.Fatalf("DialBus: %v", err)
+	}
+	t.Cleanup(func() { _ = producer.Close() })
+	// One subscription connection plus three dedicated publish ones.
+	if len(producer.shards) != 4 {
+		t.Fatalf("dialled %d connections, want 4", len(producer.shards))
+	}
+
+	const topics, perTopic = 3, 100
+	var mu sync.Mutex
+	seqs := make([][]int, topics)
+	for i := 0; i < topics; i++ {
+		i := i
+		if _, err := consumer.Subscribe(fmt.Sprintf("/pin/%d", i), "", func(ev *event.Event) {
+			n, _ := strconv.Atoi(ev.Attr("seq"))
+			mu.Lock()
+			seqs[i] = append(seqs[i], n)
+			mu.Unlock()
+		}); err != nil {
+			t.Fatalf("Subscribe %d: %v", i, err)
+		}
+	}
+
+	for n := 0; n < perTopic; n++ {
+		for i := 0; i < topics; i++ {
+			ev := event.New(fmt.Sprintf("/pin/%d", i),
+				map[string]string{"seq": strconv.Itoa(n)})
+			if err := producer.Publish(ev); err != nil {
+				t.Fatalf("Publish topic %d seq %d: %v", i, n, err)
+			}
+		}
+	}
+	if err := producer.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	waitFor(t, "all pinned publishes delivered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := 0; i < topics; i++ {
+			if len(seqs[i]) != perTopic {
+				return false
+			}
+		}
+		return true
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < topics; i++ {
+		for n, got := range seqs[i] {
+			if got != n {
+				t.Fatalf("topic %d delivery %d carries seq %d; want per-topic order", i, n, got)
+			}
+		}
+	}
+}
+
+// TestPublishEncodeOnce: fan-in republish of one event must reuse the
+// memoised SEND image — one encode, three deliveries.
+func TestPublishEncodeOnce(t *testing.T) {
+	_, srv := startNetBroker(t)
+	consumer := dialBus(t, srv.Addr(), "cleared")
+	producer := dialBus(t, srv.Addr(), "producer")
+
+	received := make(chan *event.Event, 8)
+	if _, err := consumer.Subscribe("/once", "", func(ev *event.Event) {
+		received <- ev
+	}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	ev := event.New("/once", map[string]string{"k": "v"}, label.Conf("ecric.org.uk/mdt/7"))
+	before := event.SendImageBuilds()
+	for i := 0; i < 3; i++ {
+		if err := producer.Publish(ev); err != nil {
+			t.Fatalf("Publish %d: %v", i, err)
+		}
+	}
+	if got := event.SendImageBuilds() - before; got != 1 {
+		t.Errorf("SendImageBuilds delta = %d over 3 publishes of one event, want 1", got)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-received:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("delivery %d never arrived", i)
+		}
+	}
+}

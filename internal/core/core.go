@@ -38,6 +38,12 @@ type Config struct {
 	// deployment shape. False wires units to the broker in-process, which
 	// is the fast path for tests and benchmarks.
 	NetworkBroker bool
+	// PublishWindow, with NetworkBroker, gives every unit's bus windowed
+	// asynchronous publishing: up to that many receipt-confirmed SENDs in
+	// flight per unit over a dedicated publish connection, instead of
+	// fire-and-forget. See broker.ClientConfig.PublishWindow for the
+	// ordering and error semantics. Zero keeps fire-and-forget publishes.
+	PublishWindow int
 	// ReplicationInterval is the Intranet→DMZ push period; zero means
 	// 50ms.
 	ReplicationInterval time.Duration
@@ -100,10 +106,15 @@ func New(cfg Config) (*Middleware, error) {
 		}
 		m.BrokerServer = srv
 		busFactory = func(principal string) (broker.Bus, error) {
-			return broker.DialBus(srv.Addr(), broker.ClientConfig{
+			bcfg := broker.ClientConfig{
 				Login:   principal,
 				OnError: func(err error) { cfg.Logf("core: bus %s: %v", principal, err) },
-			})
+			}
+			if cfg.PublishWindow > 0 {
+				bcfg.PublishWindow = cfg.PublishWindow
+				bcfg.SendTimeout = 10 * time.Second
+			}
+			return broker.DialBus(srv.Addr(), bcfg)
 		}
 	} else {
 		busFactory = func(principal string) (broker.Bus, error) {

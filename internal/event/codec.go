@@ -1,7 +1,9 @@
 package event
 
 import (
+	"errors"
 	"fmt"
+	"io"
 
 	"safeweb/internal/label"
 	"safeweb/internal/stomp"
@@ -41,6 +43,89 @@ func MarshalHeaders(e *Event) (map[string]string, []byte, error) {
 		}
 	}
 	return headers, e.Body, nil
+}
+
+// ErrTransportAttr reports an event whose attribute names collide with
+// STOMP transport headers (destination, receipt, content-length, ...).
+// The legacy map path resolves such collisions through header-map
+// overwrite semantics; the direct SEND encoding refuses them instead, and
+// the networked client falls back to the map path so wire behaviour is
+// unchanged for these (pathological) events.
+var ErrTransportAttr = errors.New("event: attribute name collides with a transport header")
+
+// EncodeSend writes the event as a STOMP SEND frame in its canonical wire
+// form, splicing the per-publish receipt header (when non-empty) at its
+// sorted position: the producer fast path, byte-identical to marshalling
+// the event into a header map and encoding a SEND frame from it. The
+// event must be frozen; the image is memoised on it (see SendImage).
+func EncodeSend(w io.Writer, enc *stomp.Encoder, e *Event, receipt string) error {
+	img, err := e.SendImage()
+	if err != nil {
+		return err
+	}
+	return enc.EncodeSendImage(w, img, receipt)
+}
+
+// buildSendImage encodes the event's SEND wire image into dst in a single
+// pass: destination, label header and attributes are merged in canonical
+// sorted order straight into the image buffer, with no intermediate map.
+func buildSendImage(e *Event, dst *stomp.WireImage) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	for k := range e.Attrs {
+		if skippedHeader(k) {
+			return fmt.Errorf("%w: %q", ErrTransportAttr, k)
+		}
+	}
+	labels := ""
+	if !e.Labels.IsEmpty() {
+		labels = e.labelHeader
+		if labels == "" {
+			labels = e.Labels.String()
+		}
+	}
+	hint := len(stomp.CmdSend) + len(stomp.HdrContentLength) + 24 +
+		len(HeaderDestination) + len(e.Topic) + 2 + len(e.Body)
+	n := len(e.Attrs) + 1
+	if labels != "" {
+		hint += len(HeaderLabels) + len(labels) + 2
+		n++
+	}
+	// Typical events carry a handful of attributes; the sorted-key scratch
+	// stays on the stack for them and only outsized events pay for it.
+	var kbuf [12]string
+	keys := kbuf[:0]
+	if n > len(kbuf) {
+		keys = make([]string, 0, n)
+	}
+	keys = append(keys, HeaderDestination)
+	if labels != "" {
+		keys = append(keys, HeaderLabels) // "x-safeweb-" sorts after "destination"
+	}
+	for k, v := range e.Attrs {
+		hint += len(k) + len(v) + 2
+		// Insertion sort, as the encoder's sorted-key helper does; attrs
+		// cannot collide with the two fixed keys (transport names are
+		// gated above, the reserved prefix by Validate).
+		keys = append(keys, k)
+		for i := len(keys) - 1; i > 0 && keys[i-1] > k; i-- {
+			keys[i], keys[i-1] = keys[i-1], keys[i]
+		}
+	}
+	b := stomp.NewImageBuilder(stomp.CmdSend, hint)
+	for _, k := range keys {
+		switch k {
+		case HeaderDestination:
+			b.Header(k, e.Topic)
+		case HeaderLabels:
+			b.Header(k, labels)
+		default:
+			b.Header(k, e.Attrs[k])
+		}
+	}
+	*dst = b.Finish(e.Body)
+	return nil
 }
 
 // skippedHeaders is the single source of truth for STOMP headers that are

@@ -11,7 +11,11 @@
 // A frozen (published) event lazily memoises its STOMP MESSAGE wire form
 // (WireImage): the first networked delivery encodes it, every other
 // session and shard shares the immutable image, and the memo dies with
-// the event. Per-delivery events — Delivery copies of attr-carrying
+// the event. The producer side is symmetric: a frozen event publishing
+// over the wire memoises its SEND form (SendImage), encoded in a single
+// pass with no intermediate header map and byte-identical to the legacy
+// MarshalHeaders path, so retried and fan-in publishes encode once.
+// Per-delivery events — Delivery copies of attr-carrying
 // events and networked UnmarshalViewDelivery events — come from a pool
 // and are recycled by Release when their consumer's callback completes
 // (the engine does this for every delivered event); consumers on that
@@ -79,6 +83,13 @@ type Event struct {
 	// lifetime and needs no size cap.
 	wire atomic.Pointer[wireMemo]
 
+	// send memoises the preencoded STOMP SEND image of a frozen event
+	// (see SendImage): the producer-side counterpart of wire, encoded at
+	// first networked publish with no intermediate header map or frame,
+	// then reused by retried and fan-in publishes of the same event. Like
+	// wire, the memo lives and dies with the event.
+	send atomic.Pointer[sendMemo]
+
 	// frozen is set by Freeze when the broker publishes the event. A
 	// frozen event may be shared between the publisher and several
 	// subscribers, so Set refuses to mutate it.
@@ -93,6 +104,13 @@ type Event struct {
 // wireMemo is the once-computed result of building an event's wire image.
 type wireMemo struct {
 	img *stomp.WireImage
+	err error
+}
+
+// sendMemo is the once-computed result of building an event's SEND image.
+// The image is held by value so memo and image cost one allocation.
+type sendMemo struct {
+	img stomp.WireImage
 	err error
 }
 
@@ -262,6 +280,7 @@ func (e *Event) Release() {
 	e.labelHeader = ""
 	e.frozen = false
 	e.wire.Store(nil)
+	e.send.Store(nil)
 	if len(e.Attrs) > maxPooledAttrs {
 		e.Attrs = nil
 	} else {
@@ -326,6 +345,49 @@ func (e *Event) WireImage() (*stomp.WireImage, error) {
 		m = e.wire.Load()
 	}
 	return m.img, m.err
+}
+
+// sendBuilds counts SEND-image encodes across all events, for tests and
+// monitoring that assert the encode-once property of the producer path.
+var sendBuilds atomic.Uint64
+
+// SendImageBuilds returns the process-wide count of SEND-image encodes.
+func SendImageBuilds() uint64 { return sendBuilds.Load() }
+
+// SendImage returns the preencoded STOMP SEND image for a frozen event —
+// the producer-side counterpart of WireImage, built at most once and in a
+// single pass over the event's fields: no intermediate header map, no
+// Frame, wire bytes byte-identical to the legacy MarshalHeaders+Send path
+// (with a splice point where a per-publish receipt header lands in its
+// canonical sorted position, see stomp.Encoder.EncodeSendImage).
+// Concurrent first calls are safe; both compute identical bytes and one
+// becomes canonical.
+//
+// The event must be frozen (published). An event whose attribute names
+// collide with STOMP transport headers (destination, receipt, ...) cannot
+// be encoded directly without changing legacy wire semantics; SendImage
+// reports ErrTransportAttr and callers fall back to the map path.
+// Validation errors are memoised like WireImage's.
+func (e *Event) SendImage() (*stomp.WireImage, error) {
+	if m := e.send.Load(); m != nil {
+		if m.err != nil {
+			return nil, m.err
+		}
+		return &m.img, nil
+	}
+	m := &sendMemo{}
+	m.err = buildSendImage(e, &m.img)
+	if e.send.CompareAndSwap(nil, m) {
+		if m.err == nil {
+			sendBuilds.Add(1) // one canonical build per event
+		}
+	} else {
+		m = e.send.Load()
+	}
+	if m.err != nil {
+		return nil, m.err
+	}
+	return &m.img, nil
 }
 
 // Derive creates a new event on the given topic whose labels are composed

@@ -24,9 +24,10 @@ type DeployConfig struct {
 	Password string
 	// Faults enables the §5.2 injected vulnerabilities.
 	Faults Faults
-	// NetworkBroker, DisableTracking, AuthWork and OnRequest are passed
-	// through to core.Config.
+	// NetworkBroker, PublishWindow, DisableTracking, AuthWork and
+	// OnRequest are passed through to core.Config.
 	NetworkBroker   bool
+	PublishWindow   int
 	DisableTracking bool
 	AuthWork        int
 	OnRequest       func(webfront.PhaseTimes)
@@ -59,6 +60,7 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	mw, err := core.New(core.Config{
 		Policy:          policy,
 		NetworkBroker:   cfg.NetworkBroker,
+		PublishWindow:   cfg.PublishWindow,
 		DisableTracking: cfg.DisableTracking,
 		AuthWork:        cfg.AuthWork,
 		OnRequest:       cfg.OnRequest,

@@ -322,6 +322,18 @@ func TestNetworkBrokerDeployment(t *testing.T) {
 	}
 }
 
+func TestNetworkBrokerWindowedDeployment(t *testing.T) {
+	// The networked pipeline again, with every unit publishing through
+	// the windowed async fast path: pipelined receipt-confirmed SENDs on
+	// dedicated publish connections instead of fire-and-forget.
+	d := deployTest(t, DeployConfig{Registry: regTiny(), NetworkBroker: true, PublishWindow: 16})
+	m := firstMDTWithRecords(t, d)
+	status, _ := httpGet(t, d, "/records/"+m, m)
+	if status != http.StatusOK {
+		t.Errorf("windowed network deployment records status = %d", status)
+	}
+}
+
 func regTiny() maindb.Config {
 	return maindb.Config{Seed: 5, Patients: 20, Hospitals: 2, Regions: 2}
 }

@@ -220,6 +220,115 @@ func (c *Client) SendReceipt(destination string, headers map[string]string, body
 	return c.sendWithReceipt(f, timeout)
 }
 
+// SendImage publishes a preencoded SEND image, fire-and-forget: the
+// producer fast path counterpart of Send. The image is written as-is by
+// the connection's coalescing writer — no header map, no frame, no
+// per-publish marshalling on the client goroutine.
+func (c *Client) SendImage(img *WireImage) error {
+	return c.fw.send(outFrame{img: img})
+}
+
+// SendImageReceipt is SendImage with a receipt: it blocks until the
+// broker confirms processing or the timeout elapses (zero means 10
+// seconds). Like every synchronous receipt send it flushes immediately —
+// the caller is already waiting, so batching would only add latency.
+func (c *Client) SendImageReceipt(img *WireImage, timeout time.Duration) error {
+	r, err := c.sendImageReceipt(img, true)
+	if err != nil {
+		return err
+	}
+	return r.Wait(timeout)
+}
+
+// Receipt tracks one receipt-confirmed frame in flight, for windowed
+// asynchronous publishing: the caller pipelines further sends and settles
+// confirmations later via Wait. Receipts for one connection complete in
+// send order (the broker processes frames sequentially), so waiting on
+// the oldest outstanding receipt bounds the whole window.
+type Receipt struct {
+	c  *Client
+	id string
+	ch chan struct{}
+}
+
+// SendImageAsync enqueues a receipt-carrying SEND image and returns
+// immediately with the pending receipt. Unlike the synchronous receipt
+// paths it does not force a flush: nothing blocks on this frame yet, so
+// it coalesces with the rest of the burst (the writer still flushes once
+// per drained batch).
+func (c *Client) SendImageAsync(img *WireImage) (*Receipt, error) {
+	return c.sendImageReceipt(img, false)
+}
+
+func (c *Client) sendImageReceipt(img *WireImage, flush bool) (*Receipt, error) {
+	rid, ch, err := c.registerReceipt()
+	if err != nil {
+		return nil, err
+	}
+	if err := c.fw.send(outFrame{img: img, receipt: rid, flush: flush}); err != nil {
+		c.dropReceipt(rid)
+		return nil, err
+	}
+	return &Receipt{c: c, id: rid, ch: ch}, nil
+}
+
+// registerReceipt mints a receipt id and registers its wait channel; the
+// single receipt lifecycle shared by the synchronous and windowed paths.
+func (c *Client) registerReceipt() (string, chan struct{}, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return "", nil, net.ErrClosed
+	}
+	c.nextID++
+	rid := "rcpt-" + strconv.FormatUint(c.nextID, 10)
+	ch := make(chan struct{})
+	c.receipts[rid] = ch
+	return rid, ch, nil
+}
+
+// dropReceipt deregisters a receipt that will never be waited on again.
+func (c *Client) dropReceipt(rid string) {
+	c.mu.Lock()
+	delete(c.receipts, rid)
+	c.mu.Unlock()
+}
+
+// Done returns a channel closed when the broker's RECEIPT arrives. It
+// does not observe connection failure; use Wait for that.
+func (r *Receipt) Done() <-chan struct{} { return r.ch }
+
+// Wait blocks until the broker confirms the frame, the connection dies,
+// or the timeout elapses (zero means 10 seconds). A confirmation that
+// already arrived wins over a concurrent connection teardown.
+func (r *Receipt) Wait(timeout time.Duration) error {
+	select {
+	case <-r.ch:
+		return nil
+	default:
+	}
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-r.ch:
+		return nil
+	case <-r.c.readDone:
+		// The read loop may have delivered the receipt just before dying.
+		select {
+		case <-r.ch:
+			return nil
+		default:
+		}
+		return net.ErrClosed
+	case <-timer.C:
+		r.c.dropReceipt(r.id)
+		return fmt.Errorf("stomp: receipt %s timed out after %v", r.id, timeout)
+	}
+}
+
 // Subscribe registers a subscription on a destination with an optional
 // SQL-92 selector and extra headers (SafeWeb's engine adds the clearance
 // header here). It returns the subscription id. "Subscriptions include
@@ -297,40 +406,17 @@ func (c *Client) Unsubscribe(id string) error {
 
 // sendWithReceipt attaches a receipt header, sends, and waits.
 func (c *Client) sendWithReceipt(f *Frame, timeout time.Duration) error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return net.ErrClosed
-	}
-	c.nextID++
-	rid := "rcpt-" + strconv.FormatUint(c.nextID, 10)
-	ch := make(chan struct{})
-	c.receipts[rid] = ch
-	c.mu.Unlock()
-
-	f.SetHeader(HdrReceipt, rid)
-	if err := c.writeFrame(f); err != nil {
-		c.mu.Lock()
-		delete(c.receipts, rid)
-		c.mu.Unlock()
+	rid, ch, err := c.registerReceipt()
+	if err != nil {
 		return err
 	}
-	if timeout == 0 {
-		timeout = 10 * time.Second
+	f.SetHeader(HdrReceipt, rid)
+	if err := c.writeFrame(f); err != nil {
+		c.dropReceipt(rid)
+		return err
 	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case <-ch:
-		return nil
-	case <-c.readDone:
-		return net.ErrClosed
-	case <-timer.C:
-		c.mu.Lock()
-		delete(c.receipts, rid)
-		c.mu.Unlock()
-		return fmt.Errorf("stomp: receipt %s timed out after %v", rid, timeout)
-	}
+	r := Receipt{c: c, id: rid, ch: ch}
+	return r.Wait(timeout)
 }
 
 // Disconnect performs a graceful DISCONNECT with receipt, then closes.

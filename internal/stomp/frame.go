@@ -37,6 +37,17 @@
 // (event.Event.WireImage) and shares it across every session and shard,
 // so fan-out to S sessions costs one marshal instead of S. Wire bytes are
 // identical to EncodeMessage's for the same logical frame.
+//
+// The producer side mirrors it: ImageBuilder assembles a SEND image
+// directly from ordered headers (no map — package event encodes a frozen
+// event's fields straight in, event.Event.SendImage), and
+// Encoder.EncodeSendImage writes it with the per-publish receipt header
+// spliced at its canonical sorted position, so the bytes are identical to
+// encoding the same frame with the receipt in its header map. Receipt
+// tracking has an asynchronous form for windowed publishing:
+// Client.SendImageAsync returns a Receipt whose Wait settles later,
+// letting a producer keep a window of confirmed-in-order sends in flight
+// instead of paying a round trip per publish.
 package stomp
 
 import (

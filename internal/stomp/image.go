@@ -5,22 +5,32 @@ import (
 	"strconv"
 )
 
-// WireImage is the preencoded, immutable wire form of one broadcast
-// MESSAGE frame: the canonical header block and the content-length/body
-// tail, with a splice point between them where per-delivery routing
-// headers (subscription, message-id) are inserted by Encoder.EncodeImage.
+// WireImage is the preencoded, immutable wire form of one frame: the
+// canonical header block and the content-length/body tail, with splice
+// points where per-send headers are inserted. For broadcast MESSAGE
+// frames the per-delivery routing headers (subscription, message-id) go
+// in at the end of the header block via Encoder.EncodeImage; for
+// publisher SEND frames an optional receipt header goes in at its sorted
+// position via Encoder.EncodeSendImage, keeping the wire bytes identical
+// to a frame encoded with the receipt in its header map.
 //
-// An image is encoded once — typically at first delivery of a published
-// event — and then shared across every session and shard that delivers
-// the event: fan-out to S sessions costs one marshal instead of S. The
-// backing buffer is immutable after NewMessageImage returns; images are
-// safe for concurrent use and must never be mutated.
+// An image is encoded once — at first delivery of a published event, or
+// at publish time on the producer — and then shared by every send of the
+// same logical frame: fan-out to S sessions (or S retried/fan-in
+// publishes) costs one marshal instead of S. The backing buffer is
+// immutable after NewMessageImage or ImageBuilder.Finish returns; images
+// are safe for concurrent use and must never be mutated.
 type WireImage struct {
 	// buf holds the full image: command line plus sorted base headers up
 	// to split, content-length header, blank line, body and the NUL
 	// terminator after it.
 	buf   []byte
 	split int
+	// rsplit is the offset where a "receipt" header sorts within the
+	// header block; EncodeSendImage splices the per-publish receipt there
+	// so the bytes match an Encoder.Encode of the same frame with the
+	// receipt set in its map.
+	rsplit int
 }
 
 // Prefix returns the command line and canonical (sorted, escaped) header
@@ -46,27 +56,69 @@ func (img *WireImage) WireLen() int { return len(img.buf) }
 //
 // headers and body are copied; the caller keeps ownership.
 func NewMessageImage(headers map[string]string, body []byte) *WireImage {
-	b := make([]byte, 0, imageSizeHint(headers, body))
-	b = append(b, CmdMessage...)
-	b = append(b, '\n')
+	bld := NewImageBuilder(CmdMessage, imageSizeHint(headers, body))
 	keys := sortedHeaderKeys(make([]string, 0, len(headers)), headers, HdrContentLength)
 	for _, k := range keys {
 		if k == HdrSubscription || k == HdrMessageID {
 			continue
 		}
-		b = appendEscapedHeader(b, k)
-		b = append(b, ':')
-		b = appendEscapedHeader(b, headers[k])
-		b = append(b, '\n')
+		bld.Header(k, headers[k])
 	}
-	split := len(b)
-	b = append(b, HdrContentLength...)
-	b = append(b, ':')
-	b = strconv.AppendInt(b, int64(len(body)), 10)
-	b = append(b, '\n', '\n')
-	b = append(b, body...)
-	b = append(b, 0)
-	return &WireImage{buf: b, split: split}
+	img := bld.Finish(body)
+	return &img
+}
+
+// ImageBuilder assembles a WireImage from headers supplied one at a time,
+// for map-free producers (package event encodes a frozen event's SEND
+// image straight from its fields, with no intermediate header map).
+// Callers must supply headers in the canonical sorted order the Encoder
+// emits, and must not pass content-length (derived from the body by
+// Finish) nor, for images destined for EncodeImage, the subscription and
+// message-id routing headers.
+type ImageBuilder struct {
+	buf    []byte
+	rsplit int
+}
+
+// NewImageBuilder starts an image for the given command. sizeHint should
+// estimate the full encoded size so the common case builds the image in a
+// single allocation.
+func NewImageBuilder(command string, sizeHint int) ImageBuilder {
+	b := ImageBuilder{rsplit: -1}
+	b.buf = make([]byte, 0, sizeHint)
+	b.buf = append(b.buf, command...)
+	b.buf = append(b.buf, '\n')
+	return b
+}
+
+// Header appends one header, escaping key and value. Headers must arrive
+// in canonical sorted key order.
+func (b *ImageBuilder) Header(k, v string) {
+	if b.rsplit < 0 && k > HdrReceipt {
+		b.rsplit = len(b.buf)
+	}
+	b.buf = appendEscapedHeader(b.buf, k)
+	b.buf = append(b.buf, ':')
+	b.buf = appendEscapedHeader(b.buf, v)
+	b.buf = append(b.buf, '\n')
+}
+
+// Finish seals the image with the content-length header derived from
+// body, the body itself and the frame terminator. body is copied; the
+// caller keeps ownership. The builder must not be reused afterwards.
+func (b *ImageBuilder) Finish(body []byte) WireImage {
+	split := len(b.buf)
+	if b.rsplit < 0 {
+		b.rsplit = split
+	}
+	buf := append(b.buf, HdrContentLength...)
+	buf = append(buf, ':')
+	buf = strconv.AppendInt(buf, int64(len(body)), 10)
+	buf = append(buf, '\n', '\n')
+	buf = append(buf, body...)
+	buf = append(buf, 0)
+	b.buf = nil
+	return WireImage{buf: buf, split: split, rsplit: b.rsplit}
 }
 
 // imageSizeHint estimates the encoded size so the common case builds the
@@ -106,5 +158,35 @@ func (e *Encoder) EncodeImage(w io.Writer, img *WireImage, subscription, idPrefi
 		return err
 	}
 	_, err := w.Write(img.Suffix())
+	return err
+}
+
+// EncodeSendImage writes a preencoded SEND image to w, splicing the
+// per-publish receipt header (when receipt is non-empty) at its canonical
+// sorted position within the header block. The wire bytes are identical
+// to an Encoder.Encode of the same logical frame with the receipt set in
+// its header map — the producer fast path changes where the bytes come
+// from, never what is on the wire. A receipt-free send writes the shared
+// image in a single Write.
+func (e *Encoder) EncodeSendImage(w io.Writer, img *WireImage, receipt string) error {
+	if receipt == "" {
+		_, err := w.Write(img.buf)
+		return err
+	}
+	if _, err := w.Write(img.buf[:img.rsplit:img.rsplit]); err != nil {
+		return err
+	}
+	b := e.buf[:0]
+	b = append(b, HdrReceipt...)
+	b = append(b, ':')
+	b = appendEscapedHeader(b, receipt)
+	b = append(b, '\n')
+	if cap(b) <= maxRetainedEncodeBuf {
+		e.buf = b[:0]
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err := w.Write(img.buf[img.rsplit:])
 	return err
 }

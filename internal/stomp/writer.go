@@ -22,14 +22,17 @@ const writerQueueLen = 128
 // MESSAGE sends, sub/idPrefix/seq carry the per-delivery routing headers
 // so the shared base frame is never cloned; the encoder emits them
 // in-line. When img is set the frame is a preencoded wire image — the
-// hottest path — and only the routing headers are encoded per delivery.
+// hottest path — and only the per-send headers are encoded: the routing
+// headers when sub names a subscription (MESSAGE delivery), or the
+// receipt header when it does not (producer SEND image).
 type outFrame struct {
 	f     *Frame
-	img   *WireImage // non-nil: preencoded image, sub/idPrefix/idSeq route it
+	img   *WireImage // non-nil: preencoded image
 	sub   string     // non-empty: encode as MESSAGE with routing headers
 	idSeq uint64
 
 	idPrefix string
+	receipt  string // img set, sub empty: SEND image receipt splice
 	flush    bool
 }
 
@@ -157,8 +160,10 @@ func (fw *frameWriter) write(of outFrame) {
 	}
 	var err error
 	switch {
-	case of.img != nil:
+	case of.img != nil && of.sub != "":
 		err = fw.enc.EncodeImage(fw.bw, of.img, of.sub, of.idPrefix, of.idSeq)
+	case of.img != nil:
+		err = fw.enc.EncodeSendImage(fw.bw, of.img, of.receipt)
 	case of.sub != "":
 		err = fw.enc.EncodeMessage(fw.bw, of.f, of.sub, of.idPrefix, of.idSeq)
 	default:
