@@ -18,6 +18,7 @@ import (
 	"os/signal"
 	"time"
 
+	"safeweb/internal/broker"
 	"safeweb/internal/maindb"
 	"safeweb/internal/mdt"
 )
@@ -30,21 +31,37 @@ func main() {
 	networkBroker := flag.Bool("network-broker", false, "run units over the STOMP network broker")
 	publishWindow := flag.Int("publish-window", 0,
 		"receipt-confirmed publishes in flight per unit (with -network-broker; 0 = fire-and-forget)")
+	overflow := flag.String("overflow", "block",
+		"slow-consumer overflow policy for broker sessions (with -network-broker): block, drop-newest, drop-oldest or disconnect")
+	writeQueue := flag.Int("write-queue", 0,
+		"per-session delivery queue length in frames (with -network-broker; 0 = default 128)")
+	writeTimeout := flag.Duration("write-timeout", 0,
+		"per-flush write deadline for broker sessions (with -network-broker; 0 = unbounded)")
 	importEvery := flag.Duration("import-every", 0, "periodic re-import interval (0 = import once)")
 	flag.Parse()
 
-	if err := run(*httpAddr, *patients, *seed, *password, *networkBroker, *publishWindow, *importEvery); err != nil {
+	policy, err := broker.ParseOverflowPolicy(*overflow)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdt-portal:", err)
+		os.Exit(2)
+	}
+	if err := run(*httpAddr, *patients, *seed, *password, *networkBroker, *publishWindow,
+		policy, *writeQueue, *writeTimeout, *importEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "mdt-portal:", err)
 		os.Exit(1)
 	}
 }
 
-func run(httpAddr string, patients int, seed int64, password string, networkBroker bool, publishWindow int, importEvery time.Duration) error {
+func run(httpAddr string, patients int, seed int64, password string, networkBroker bool, publishWindow int,
+	overflow broker.OverflowPolicy, writeQueue int, writeTimeout, importEvery time.Duration) error {
 	d, err := mdt.Deploy(mdt.DeployConfig{
 		Registry:      maindb.Config{Seed: seed, Patients: patients},
 		Password:      password,
 		NetworkBroker: networkBroker,
 		PublishWindow: publishWindow,
+		Overflow:      overflow,
+		WriteQueueLen: writeQueue,
+		WriteTimeout:  writeTimeout,
 		Logf:          log.Printf,
 	})
 	if err != nil {
@@ -88,5 +105,10 @@ func run(httpAddr string, patients int, seed int64, password string, networkBrok
 	front := d.Frontend.Stats()
 	log.Printf("shutting down: %d requests served, %d blocked by the release check, %d auth failures",
 		front.Requests, front.Blocked, front.AuthFailures)
+	if d.BrokerServer != nil {
+		bs := d.BrokerServer.Stats()
+		log.Printf("broker front: %d deliveries dropped, %d overflow drops, %d slow-consumer evictions, queue high-water %d",
+			bs.DroppedDeliveries, bs.OverflowDrops, bs.SlowConsumerEvictions, bs.QueueHighWater)
+	}
 	return nil
 }

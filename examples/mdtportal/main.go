@@ -22,7 +22,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
+	"safeweb/internal/broker"
 	"safeweb/internal/maindb"
 	"safeweb/internal/mdt"
 )
@@ -33,15 +35,27 @@ func main() {
 	networkBroker := flag.Bool("network-broker", false, "run units over the STOMP network broker")
 	publishWindow := flag.Int("publish-window", 0,
 		"receipt-confirmed publishes in flight per unit (with -network-broker; 0 = fire-and-forget)")
+	overflow := flag.String("overflow", "block",
+		"slow-consumer overflow policy for broker sessions (with -network-broker): block, drop-newest, drop-oldest or disconnect")
+	writeQueue := flag.Int("write-queue", 0,
+		"per-session delivery queue length in frames (with -network-broker; 0 = default 128)")
+	writeTimeout := flag.Duration("write-timeout", 0,
+		"per-flush write deadline for broker sessions (with -network-broker; 0 = unbounded)")
 	flag.Parse()
 
-	if err := run(*patients, *serve, *networkBroker, *publishWindow); err != nil {
+	policy, err := broker.ParseOverflowPolicy(*overflow)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdtportal:", err)
+		os.Exit(2)
+	}
+	if err := run(*patients, *serve, *networkBroker, *publishWindow, policy, *writeQueue, *writeTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "mdtportal:", err)
 		os.Exit(1)
 	}
 }
 
-func run(patients int, serve bool, networkBroker bool, publishWindow int) error {
+func run(patients int, serve bool, networkBroker bool, publishWindow int,
+	overflow broker.OverflowPolicy, writeQueue int, writeTimeout time.Duration) error {
 	fmt.Printf("deploying MDT portal (%d patients, network broker: %v)\n", patients, networkBroker)
 	d, err := mdt.Deploy(mdt.DeployConfig{
 		Registry:      maindb.Config{Seed: 2026, Patients: patients},
@@ -50,6 +64,12 @@ func run(patients int, serve bool, networkBroker bool, publishWindow int) error 
 		// when enabled: pipelined receipt-confirmed SENDs instead of
 		// fire-and-forget, with Flush/Close as the delivery barrier.
 		PublishWindow: publishWindow,
+		// Slow-consumer protection for the broker front: bounded
+		// per-session delivery queues with an explicit overflow policy
+		// and an optional per-flush write deadline.
+		Overflow:      overflow,
+		WriteQueueLen: writeQueue,
+		WriteTimeout:  writeTimeout,
 	})
 	if err != nil {
 		return err

@@ -1,5 +1,7 @@
 package broker
 
+import "safeweb/internal/event"
+
 // AbruptClose tears down every shard connection without a DISCONNECT
 // handshake — the chaos test's stand-in for a consumer crashing
 // mid-stream.
@@ -7,6 +9,23 @@ func (c *Client) AbruptClose() {
 	for _, sh := range c.shards {
 		_ = sh.conn.Close()
 	}
+}
+
+// KillSessionAndDeliver severs the transport of the given server session
+// and then force-delivers ev to its captured state, so tests can exercise
+// the dead-session drop accounting deterministically — without racing the
+// read loop's disconnect teardown for the session map entry. Returns false
+// if the session is unknown.
+func (s *Server) KillSessionAndDeliver(sessionID uint64, clientSubID string, ev *event.Event) bool {
+	s.mu.Lock()
+	ss := s.sessions[sessionID]
+	s.mu.Unlock()
+	if ss == nil {
+		return false
+	}
+	_ = ss.sess.Kill()
+	s.deliver(ss, clientSubID, ev)
+	return true
 }
 
 // subsSnapshot exposes the current subscription list for tests.

@@ -30,10 +30,14 @@ func (u pipeUnit) Init(ctx *engine.InitContext) error { return u.init(ctx) }
 // the consumer, so the benchmark exercises STOMP framing, per-connection
 // writes and engine dispatch — everything between two networked units.
 func BenchmarkNetworkPipeline(b *testing.B) {
-	for _, bc := range []struct{ fanout, shards, window int }{
-		{1, 1, 0}, {1, 1, 64}, {10, 1, 0}, {100, 1, 0}, {100, 4, 0},
+	for _, bc := range []struct {
+		fanout, shards, window int
+		stalled                bool
+	}{
+		{1, 1, 0, false}, {1, 1, 64, false}, {10, 1, 0, false},
+		{100, 1, 0, false}, {100, 4, 0, false}, {100, 1, 0, true},
 	} {
-		fanout, shards, window := bc.fanout, bc.shards, bc.window
+		fanout, shards, window, stalled := bc.fanout, bc.shards, bc.window, bc.stalled
 		name := fmt.Sprintf("fanout=%d", fanout)
 		if shards > 1 {
 			// The sharded variant spreads the consumer's subscriptions
@@ -47,19 +51,43 @@ func BenchmarkNetworkPipeline(b *testing.B) {
 			// fire-and-forget series comparable.
 			name += fmt.Sprintf("/window=%d", window)
 		}
+		if stalled {
+			// The stalled variant adds one subscriber that completes the
+			// handshake and then never reads — the slow-consumer case. The
+			// write deadline bounds the one-time stall while its buffers
+			// fill; after the deadline fires the dead session's writer
+			// fails sticky and the fan-out must run at full speed, so this
+			// series guards against reintroducing unbounded blocking on a
+			// dead peer (CI asserts it stays within 1.5x of the healthy
+			// fanout=100 series).
+			name += "/stalled"
+		}
 		b.Run(name, func(b *testing.B) {
 			policy := label.NewPolicy()
 			policy.Grant("consumer", label.Clearance,
 				label.MustParsePattern("label:conf:ecric.org.uk/*"))
 			policy.Grant("producer", label.Clearance,
 				label.MustParsePattern("label:conf:ecric.org.uk/*"))
+			scfg := broker.ServerConfig{Logf: b.Logf}
+			if stalled {
+				policy.Grant("stalled", label.Clearance,
+					label.MustParsePattern("label:conf:ecric.org.uk/*"))
+				scfg.WriteTimeout = 50 * time.Millisecond
+				// The dead session's post-deadline deliveries all fail;
+				// don't let their per-drop log lines become the benchmark.
+				scfg.OnDeliveryError = func(uint64, string, *event.Event, error) {}
+			}
 			br := broker.New(policy)
 			defer br.Close()
-			srv, err := broker.NewServer("127.0.0.1:0", br, broker.ServerConfig{Logf: b.Logf})
+			srv, err := broker.NewServer("127.0.0.1:0", br, scfg)
 			if err != nil {
 				b.Fatalf("NewServer: %v", err)
 			}
 			defer srv.Close()
+			if stalled {
+				conn := dialStalled(b, srv.Addr(), "stalled", "/bench/out", "s-0")
+				defer conn.Close()
+			}
 
 			newEngine := func(busShards int) *engine.Engine {
 				e, err := engine.New(engine.Config{

@@ -2,15 +2,110 @@ package broker
 
 import (
 	"crypto/tls"
+	"errors"
 	"fmt"
 	"log"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"safeweb/internal/event"
 	"safeweb/internal/stomp"
 )
+
+// OverflowPolicy selects what the network front does when a matched
+// delivery meets a session whose write queue is full — the slow-consumer
+// decision point. The policy is fixed at server construction, so the
+// per-delivery check is a plain field read on the fan-out fast path.
+type OverflowPolicy int
+
+const (
+	// OverflowBlock blocks the publishing goroutine until the session's
+	// writer drains (the seed behaviour): lossless back-pressure, but a
+	// peer that stopped reading head-of-line-blocks every delivery routed
+	// through that goroutine. Pair it with ServerConfig.WriteTimeout so
+	// the stall is bounded by the peer failing its write deadline; leave
+	// it unbounded only for trusted in-process tests.
+	OverflowBlock OverflowPolicy = iota
+	// OverflowDropNewest drops the incoming delivery, counts it in
+	// Stats().OverflowDrops and reports it through OnDeliveryError with
+	// ErrSlowConsumer. Oldest queued deliveries survive — the backlog
+	// keeps its history and loses the present.
+	OverflowDropNewest
+	// OverflowDropOldest evicts the oldest queued deliveries to make room
+	// for the incoming one; each eviction is counted and reported like a
+	// drop. The backlog tracks the present and loses history — the usual
+	// choice for live feeds. Control frames are never evicted.
+	OverflowDropOldest
+	// OverflowDisconnect drops the incoming delivery like
+	// OverflowDropNewest and evicts the whole session once
+	// OverflowEvictAfter consecutive deliveries have overflowed: a
+	// consumer that persistently cannot keep up is disconnected rather
+	// than served an ever-gappier stream.
+	OverflowDisconnect
+)
+
+// String returns the flag-friendly name of the policy.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case OverflowBlock:
+		return "block"
+	case OverflowDropNewest:
+		return "drop-newest"
+	case OverflowDropOldest:
+		return "drop-oldest"
+	case OverflowDisconnect:
+		return "disconnect"
+	}
+	return "overflow(" + strconv.Itoa(int(p)) + ")"
+}
+
+// ParseOverflowPolicy parses the flag-friendly policy names accepted by
+// the deployment binaries: block, drop-newest, drop-oldest, disconnect.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "", "block":
+		return OverflowBlock, nil
+	case "drop-newest":
+		return OverflowDropNewest, nil
+	case "drop-oldest":
+		return OverflowDropOldest, nil
+	case "disconnect":
+		return OverflowDisconnect, nil
+	}
+	return 0, fmt.Errorf("broker: unknown overflow policy %q (want block, drop-newest, drop-oldest or disconnect)", s)
+}
+
+// ErrSlowConsumer marks a delivery suppressed by the overflow policy: the
+// session's write queue was full and the policy chose to drop rather than
+// block. It reaches OnDeliveryError so no suppressed flow is silent.
+var ErrSlowConsumer = errors.New("broker: delivery dropped: slow consumer write queue overflow")
+
+// defaultOverflowEvictAfter is the OverflowDisconnect eviction threshold
+// when the configuration leaves it zero.
+const defaultOverflowEvictAfter = 8
+
+// SlowConsumerEvent describes a session the overflow policy has acted on,
+// reported through ServerConfig.OnSlowConsumer: once when a run of
+// consecutive overflows begins (Evicted false) and once if the session is
+// evicted (Evicted true).
+type SlowConsumerEvent struct {
+	// SessionID and Login identify the slow session.
+	SessionID uint64
+	Login     string
+	// Subscription is the client-chosen subscription id of the delivery
+	// that tripped the policy.
+	Subscription string
+	// Policy is the server's configured overflow policy.
+	Policy OverflowPolicy
+	// Evicted reports whether the session is being disconnected.
+	Evicted bool
+	// OverflowDrops is the session's total suppressed-delivery count at
+	// the time of the event.
+	OverflowDrops uint64
+}
 
 // ServerConfig configures the STOMP network front of a broker.
 type ServerConfig struct {
@@ -23,32 +118,88 @@ type ServerConfig struct {
 	TLS *tls.Config
 	// Logf logs; nil uses log.Printf.
 	Logf func(format string, args ...any)
+	// Overflow is the per-session delivery overflow policy; the zero
+	// value is OverflowBlock, the seed behaviour.
+	Overflow OverflowPolicy
+	// OverflowEvictAfter is the number of consecutive overflows after
+	// which OverflowDisconnect evicts a session; zero means 8. Ignored by
+	// the other policies.
+	OverflowEvictAfter int
+	// WriteQueueLen is each session's delivery queue length in frames;
+	// zero selects the transport default (128). Negative values are
+	// rejected at construction.
+	WriteQueueLen int
+	// WriteTimeout bounds every write and flush to a session: a peer that
+	// stops reading fails its connection with a sticky deadline error
+	// instead of wedging the session's writer (and, under OverflowBlock,
+	// the publishing goroutine) forever. Zero disables the deadline.
+	WriteTimeout time.Duration
 	// OnDeliveryError observes deliveries the network front had to drop —
 	// an event that matched a subscription but could not be marshalled
-	// for the wire. A mediating broker must leave an audit trail for any
-	// suppressed flow, so nil falls back to Logf; the drop is always
-	// counted in Stats().DroppedDeliveries. The hook runs on the
-	// delivering (publish) goroutine and must not block.
+	// for the wire, could not be written to a closed or write-failed
+	// session, or was suppressed by the overflow policy (err is then
+	// ErrSlowConsumer; ev is nil when a queued delivery was evicted by
+	// OverflowDropOldest after its publish returned). A mediating broker
+	// must leave an audit trail for any suppressed flow, so nil falls
+	// back to Logf; every drop is also counted in Stats(). The hook runs
+	// on the delivering (publish) goroutine and must not block.
 	OnDeliveryError func(sessionID uint64, subscription string, ev *event.Event, err error)
+	// OnSlowConsumer observes sessions the overflow policy acts on: the
+	// start of each consecutive-overflow run and every eviction. Runs on
+	// the delivering (publish) goroutine and must not block.
+	OnSlowConsumer func(ev SlowConsumerEvent)
 }
 
 // ServerStats counts network-front activity not visible in the core
 // broker's Stats.
 type ServerStats struct {
 	// DroppedDeliveries counts matched deliveries dropped because the
-	// event could not be marshalled into a MESSAGE frame.
+	// event could not be marshalled into a MESSAGE frame or written to
+	// the session (closed or write-failed connection).
 	DroppedDeliveries uint64
+	// OverflowDrops counts matched deliveries suppressed by the overflow
+	// policy: drop-newest/disconnect drops and drop-oldest evictions.
+	OverflowDrops uint64
+	// SlowConsumerEvictions counts sessions disconnected by
+	// OverflowDisconnect.
+	SlowConsumerEvictions uint64
+	// QueueHighWater is the deepest per-session delivery-queue occupancy
+	// observed on any session, live or since departed.
+	QueueHighWater int
+}
+
+// SessionStats is a point-in-time snapshot of one live session's delivery
+// accounting, for dashboards and soak-test assertions.
+type SessionStats struct {
+	ID            uint64
+	Login         string
+	Subscriptions int
+	// QueueDepth, QueueCap and QueueHighWater describe the session's
+	// delivery queue: current occupancy, capacity, and the deepest
+	// occupancy observed.
+	QueueDepth     int
+	QueueCap       int
+	QueueHighWater int
+	// OverflowDrops counts this session's deliveries suppressed by the
+	// overflow policy.
+	OverflowDrops uint64
 }
 
 // Server exposes a Broker over STOMP. Logins name the policy principal of
 // the connection; SUBSCRIBE and SEND frames are translated to broker
 // operations with label semantics preserved.
 type Server struct {
-	broker *Broker
-	stomp  *stomp.Server
-	cfg    ServerConfig
+	broker     *Broker
+	stomp      *stomp.Server
+	cfg        ServerConfig
+	evictAfter uint32
 
 	droppedDeliveries atomic.Uint64
+	overflowDrops     atomic.Uint64
+	slowEvictions     atomic.Uint64
+	// departedHighWater folds the queue high-water marks of closed
+	// sessions so Stats() keeps the all-time maximum.
+	departedHighWater atomic.Int64
 
 	mu       sync.Mutex
 	sessions map[uint64]*serverSession
@@ -65,6 +216,14 @@ type serverSession struct {
 	idPrefix string
 	msgSeq   atomic.Uint64
 
+	// overflowDrops counts deliveries to this session suppressed by the
+	// overflow policy; consecOverflows tracks the current run of
+	// overflowing deliveries for OverflowDisconnect; evicted latches the
+	// eviction so it fires exactly once.
+	overflowDrops   atomic.Uint64
+	consecOverflows atomic.Uint32
+	evicted         atomic.Bool
+
 	// decCache memoises label-header parses and the destination string
 	// for this session's inbound SENDs; OnFrameView runs on the session
 	// read goroutine only.
@@ -76,17 +235,36 @@ func NewServer(addr string, b *Broker, cfg ServerConfig) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
-	srv := &Server{
-		broker:   b,
-		cfg:      cfg,
-		sessions: make(map[uint64]*serverSession),
+	switch cfg.Overflow {
+	case OverflowBlock, OverflowDropNewest, OverflowDropOldest, OverflowDisconnect:
+	default:
+		return nil, fmt.Errorf("broker: unknown overflow policy %d", cfg.Overflow)
 	}
-	st, err := stomp.NewServer(addr, stomp.ServerConfig{
-		Handler:      srv,
-		Authenticate: cfg.Authenticate,
-		TLS:          cfg.TLS,
-		Logf:         cfg.Logf,
-	})
+	if cfg.OverflowEvictAfter < 0 {
+		return nil, fmt.Errorf("broker: ServerConfig.OverflowEvictAfter must not be negative, got %d", cfg.OverflowEvictAfter)
+	}
+	evictAfter := cfg.OverflowEvictAfter
+	if evictAfter == 0 {
+		evictAfter = defaultOverflowEvictAfter
+	}
+	srv := &Server{
+		broker:     b,
+		cfg:        cfg,
+		evictAfter: uint32(evictAfter),
+		sessions:   make(map[uint64]*serverSession),
+	}
+	scfg := stomp.ServerConfig{
+		Handler:       srv,
+		Authenticate:  cfg.Authenticate,
+		TLS:           cfg.TLS,
+		Logf:          cfg.Logf,
+		WriteQueueLen: cfg.WriteQueueLen,
+		WriteTimeout:  cfg.WriteTimeout,
+	}
+	if cfg.Overflow == OverflowDropOldest {
+		scfg.OnQueueEvict = srv.queueEvict
+	}
+	st, err := stomp.NewServer(addr, scfg)
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +280,41 @@ func (s *Server) Close() error { return s.stomp.Close() }
 
 // Stats returns a snapshot of network-front counters.
 func (s *Server) Stats() ServerStats {
-	return ServerStats{DroppedDeliveries: s.droppedDeliveries.Load()}
+	hw := int(s.departedHighWater.Load())
+	s.mu.Lock()
+	for _, ss := range s.sessions {
+		if w := ss.sess.QueueHighWater(); w > hw {
+			hw = w
+		}
+	}
+	s.mu.Unlock()
+	return ServerStats{
+		DroppedDeliveries:     s.droppedDeliveries.Load(),
+		OverflowDrops:         s.overflowDrops.Load(),
+		SlowConsumerEvictions: s.slowEvictions.Load(),
+		QueueHighWater:        hw,
+	}
+}
+
+// SessionStats returns per-session delivery accounting for every live
+// session, ordered by session id.
+func (s *Server) SessionStats() []SessionStats {
+	s.mu.Lock()
+	out := make([]SessionStats, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		out = append(out, SessionStats{
+			ID:             ss.sess.ID(),
+			Login:          ss.sess.Login(),
+			Subscriptions:  len(ss.subs),
+			QueueDepth:     ss.sess.QueueDepth(),
+			QueueCap:       ss.sess.QueueCap(),
+			QueueHighWater: ss.sess.QueueHighWater(),
+			OverflowDrops:  ss.overflowDrops.Load(),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // OnConnect implements stomp.SessionHandler.
@@ -125,6 +337,15 @@ func (s *Server) OnDisconnect(sess *stomp.Session) {
 	s.mu.Unlock()
 	if ss == nil {
 		return
+	}
+	// Fold the departing session's high-water mark into the server-wide
+	// maximum so Stats() stays monotonic across session churn.
+	hw := int64(sess.QueueHighWater())
+	for {
+		cur := s.departedHighWater.Load()
+		if hw <= cur || s.departedHighWater.CompareAndSwap(cur, hw) {
+			break
+		}
 	}
 	for _, sub := range ss.subs {
 		s.broker.Unsubscribe(sub)
@@ -205,10 +426,13 @@ func (s *Server) OnFrameView(sess *stomp.Session, v *stomp.FrameView) error {
 // they exist only on the wire. The frames feed the session's coalescing
 // writer, so a fan-out burst costs one flush.
 //
-// An event that cannot be marshalled was validated at publish, so this
-// "cannot happen in practice" — but a mediating broker must not lose a
-// matched delivery silently, so the drop is counted and reported through
-// ServerConfig.OnDeliveryError.
+// This runs on the publishing goroutine, so the overflow policy decides
+// here whether a session whose delivery queue is full may block the
+// publisher (OverflowBlock) or must absorb the loss itself (the
+// non-blocking policies). Either way a matched delivery is never lost
+// silently: marshal and write failures are counted in DroppedDeliveries,
+// policy drops in OverflowDrops, and every one is reported through
+// OnDeliveryError.
 func (s *Server) deliver(ss *serverSession, clientSubID string, ev *event.Event) {
 	img, err := ev.WireImage()
 	if err != nil {
@@ -216,16 +440,114 @@ func (s *Server) deliver(ss *serverSession, clientSubID string, ev *event.Event)
 		return
 	}
 	seq := ss.msgSeq.Add(1)
-	// Session teardown races are handled by OnDisconnect.
-	_ = ss.sess.SendMessageImage(img, clientSubID, ss.idPrefix, seq)
+	switch s.cfg.Overflow {
+	case OverflowDropOldest:
+		// Never blocks: a full queue evicts its oldest deliveries, each
+		// reported through queueEvict on this goroutine.
+		if err := ss.sess.SendMessageImageDropOldest(img, clientSubID, ss.idPrefix, seq, ev); err != nil {
+			s.dropDelivery(ss, clientSubID, ev, err)
+		}
+	case OverflowDropNewest, OverflowDisconnect:
+		ok, err := ss.sess.TrySendMessageImage(img, clientSubID, ss.idPrefix, seq)
+		switch {
+		case err != nil:
+			s.dropDelivery(ss, clientSubID, ev, err)
+		case ok:
+			ss.consecOverflows.Store(0)
+		default:
+			s.overflowDrop(ss, clientSubID, ev)
+		}
+	default: // OverflowBlock
+		if err := ss.sess.SendMessageImage(img, clientSubID, ss.idPrefix, seq); err != nil {
+			// A delivery lost to a closed or write-failed session must be
+			// as visible as a marshal failure.
+			s.dropDelivery(ss, clientSubID, ev, err)
+		}
+	}
 }
 
-// dropDelivery records a matched delivery the network front had to drop.
-func (s *Server) dropDelivery(ss *serverSession, clientSubID string, ev *event.Event, err error) {
-	s.droppedDeliveries.Add(1)
-	if s.cfg.OnDeliveryError != nil {
-		s.cfg.OnDeliveryError(ss.sess.ID(), clientSubID, ev, err)
+// overflowDrop accounts one delivery suppressed by a non-blocking
+// overflow policy and applies the eviction rule: the first overflow of a
+// run raises OnSlowConsumer, and under OverflowDisconnect a run reaching
+// the eviction threshold disconnects the session.
+func (s *Server) overflowDrop(ss *serverSession, clientSubID string, ev *event.Event) {
+	s.overflowDrops.Add(1)
+	total := ss.overflowDrops.Add(1)
+	s.reportDelivery(ss, clientSubID, ev, ErrSlowConsumer)
+	run := ss.consecOverflows.Add(1)
+	if run == 1 && s.cfg.OnSlowConsumer != nil {
+		s.cfg.OnSlowConsumer(SlowConsumerEvent{
+			SessionID:     ss.sess.ID(),
+			Login:         ss.sess.Login(),
+			Subscription:  clientSubID,
+			Policy:        s.cfg.Overflow,
+			OverflowDrops: total,
+		})
+	}
+	if s.cfg.Overflow == OverflowDisconnect && run >= s.evictAfter {
+		s.evict(ss, clientSubID, total)
+	}
+}
+
+// evict disconnects a session that persistently cannot keep up. Kill
+// severs the transport without waiting for the backlog (the peer has
+// stopped reading), so this is safe on the publishing goroutine; the
+// session's read loop observes the closed connection and the ordinary
+// disconnect path tears the subscriptions down.
+func (s *Server) evict(ss *serverSession, clientSubID string, drops uint64) {
+	if ss.evicted.Swap(true) {
 		return
 	}
-	s.cfg.Logf("broker: dropped delivery to session %d sub %s: %v", ss.sess.ID(), clientSubID, err)
+	s.slowEvictions.Add(1)
+	if s.cfg.OnSlowConsumer != nil {
+		s.cfg.OnSlowConsumer(SlowConsumerEvent{
+			SessionID:     ss.sess.ID(),
+			Login:         ss.sess.Login(),
+			Subscription:  clientSubID,
+			Policy:        s.cfg.Overflow,
+			Evicted:       true,
+			OverflowDrops: drops,
+		})
+	}
+	s.cfg.Logf("broker: evicting slow consumer session %d (%s): %d deliveries dropped",
+		ss.sess.ID(), ss.sess.Login(), drops)
+	_ = ss.sess.Kill()
+}
+
+// queueEvict is the stomp-layer callback for deliveries evicted from a
+// session's queue by OverflowDropOldest: account them exactly like a
+// policy drop. The payload is the delivered event when the frame came
+// through deliver; nil is tolerated for defence in depth.
+func (s *Server) queueEvict(sess *stomp.Session, subscription string, payload any) {
+	s.mu.Lock()
+	ss := s.sessions[sess.ID()]
+	s.mu.Unlock()
+	ev, _ := payload.(*event.Event)
+	s.overflowDrops.Add(1)
+	if ss != nil {
+		ss.overflowDrops.Add(1)
+		s.reportDelivery(ss, subscription, ev, ErrSlowConsumer)
+		return
+	}
+	s.reportDeliveryError(sess.ID(), subscription, ev, ErrSlowConsumer)
+}
+
+// dropDelivery records a matched delivery the network front had to drop
+// for transport reasons (marshal failure, closed or write-failed
+// session).
+func (s *Server) dropDelivery(ss *serverSession, clientSubID string, ev *event.Event, err error) {
+	s.droppedDeliveries.Add(1)
+	s.reportDelivery(ss, clientSubID, ev, err)
+}
+
+func (s *Server) reportDelivery(ss *serverSession, clientSubID string, ev *event.Event, err error) {
+	s.reportDeliveryError(ss.sess.ID(), clientSubID, ev, err)
+}
+
+func (s *Server) reportDeliveryError(sessionID uint64, clientSubID string, ev *event.Event, err error) {
+	if s.cfg.OnDeliveryError != nil {
+		s.cfg.OnDeliveryError(sessionID, clientSubID, ev, err)
+		return
+	}
+	s.cfg.Logf("broker: dropped delivery to session %d sub %s: %v", sessionID, clientSubID, err)
 }

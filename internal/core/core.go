@@ -44,6 +44,22 @@ type Config struct {
 	// fire-and-forget. See broker.ClientConfig.PublishWindow for the
 	// ordering and error semantics. Zero keeps fire-and-forget publishes.
 	PublishWindow int
+	// Overflow, with NetworkBroker, selects the broker front's
+	// per-session delivery overflow policy — what happens to a matched
+	// delivery when a consumer session's write queue is full. The zero
+	// value blocks (lossless back-pressure, the historical behaviour);
+	// see broker.OverflowPolicy for the drop and eviction policies.
+	Overflow broker.OverflowPolicy
+	// OverflowEvictAfter is the consecutive-overflow eviction threshold
+	// for broker.OverflowDisconnect; zero keeps the broker default.
+	OverflowEvictAfter int
+	// WriteQueueLen, with NetworkBroker, sets each session's delivery
+	// queue length in frames; zero keeps the transport default (128).
+	WriteQueueLen int
+	// WriteTimeout, with NetworkBroker, bounds every write to a session
+	// so a peer that stops reading fails its connection instead of
+	// wedging its writer; zero disables the deadline.
+	WriteTimeout time.Duration
 	// ReplicationInterval is the Intranet→DMZ push period; zero means
 	// 50ms.
 	ReplicationInterval time.Duration
@@ -100,7 +116,13 @@ func New(cfg Config) (*Middleware, error) {
 
 	var busFactory engine.BusFactory
 	if cfg.NetworkBroker {
-		srv, err := broker.NewServer("127.0.0.1:0", m.Broker, broker.ServerConfig{Logf: cfg.Logf})
+		srv, err := broker.NewServer("127.0.0.1:0", m.Broker, broker.ServerConfig{
+			Logf:               cfg.Logf,
+			Overflow:           cfg.Overflow,
+			OverflowEvictAfter: cfg.OverflowEvictAfter,
+			WriteQueueLen:      cfg.WriteQueueLen,
+			WriteTimeout:       cfg.WriteTimeout,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: broker server: %w", err)
 		}

@@ -25,7 +25,7 @@ func FuzzSendRoundTrip(f *testing.F) {
 		[]byte(`{"record": true}`), true, false)
 	f.Add("/t", "tricky:key", "line1\nline2:with\\slash\rcr", "", "anonymous",
 		[]byte{0x01, 0x00, 0x02}, false, true)
-	f.Add("", "k", "v", "k", "v2", []byte(nil), false, false)          // invalid topic
+	f.Add("", "k", "v", "k", "v2", []byte(nil), false, false)                    // invalid topic
 	f.Add("/t", "destination", "/evil", "receipt", "x", []byte(nil), true, true) // transport collision
 	f.Add("/t", "x-safeweb-labels", "forged", "zz", "", []byte(nil), false, false)
 

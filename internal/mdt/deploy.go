@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"safeweb/internal/broker"
 	"safeweb/internal/core"
 	"safeweb/internal/maindb"
 	"safeweb/internal/webfront"
@@ -24,13 +25,21 @@ type DeployConfig struct {
 	Password string
 	// Faults enables the §5.2 injected vulnerabilities.
 	Faults Faults
-	// NetworkBroker, PublishWindow, DisableTracking, AuthWork and
-	// OnRequest are passed through to core.Config.
-	NetworkBroker   bool
-	PublishWindow   int
-	DisableTracking bool
-	AuthWork        int
-	OnRequest       func(webfront.PhaseTimes)
+	// NetworkBroker, PublishWindow, Overflow, OverflowEvictAfter,
+	// WriteQueueLen, WriteTimeout, DisableTracking, AuthWork and
+	// OnRequest are passed through to core.Config. The overflow settings
+	// give the deployment's broker front slow-consumer protection:
+	// bounded per-session delivery queues with an explicit policy
+	// instead of unbounded blocking.
+	NetworkBroker      bool
+	PublishWindow      int
+	Overflow           broker.OverflowPolicy
+	OverflowEvictAfter int
+	WriteQueueLen      int
+	WriteTimeout       time.Duration
+	DisableTracking    bool
+	AuthWork           int
+	OnRequest          func(webfront.PhaseTimes)
 	// Logf logs; nil is quiet.
 	Logf func(format string, args ...any)
 }
@@ -58,13 +67,17 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	policy := BuildPolicy(registry)
 
 	mw, err := core.New(core.Config{
-		Policy:          policy,
-		NetworkBroker:   cfg.NetworkBroker,
-		PublishWindow:   cfg.PublishWindow,
-		DisableTracking: cfg.DisableTracking,
-		AuthWork:        cfg.AuthWork,
-		OnRequest:       cfg.OnRequest,
-		Logf:            cfg.Logf,
+		Policy:             policy,
+		NetworkBroker:      cfg.NetworkBroker,
+		PublishWindow:      cfg.PublishWindow,
+		Overflow:           cfg.Overflow,
+		OverflowEvictAfter: cfg.OverflowEvictAfter,
+		WriteQueueLen:      cfg.WriteQueueLen,
+		WriteTimeout:       cfg.WriteTimeout,
+		DisableTracking:    cfg.DisableTracking,
+		AuthWork:           cfg.AuthWork,
+		OnRequest:          cfg.OnRequest,
+		Logf:               cfg.Logf,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mdt: deploy: %w", err)

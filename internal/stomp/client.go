@@ -46,6 +46,14 @@ type ClientConfig struct {
 	// OnError receives server ERROR frames and read-loop failures; nil
 	// drops them.
 	OnError func(err error)
+	// WriteQueueLen is the connection's writer queue length in frames;
+	// zero selects the default (128). Dial rejects negative values.
+	WriteQueueLen int
+	// WriteTimeout bounds every write and flush of the connection's
+	// writer: a broker that stops reading fails the connection with a
+	// sticky deadline error instead of wedging the writer goroutine
+	// forever. Zero disables the deadline.
+	WriteTimeout time.Duration
 }
 
 // Client is a STOMP client connection. All methods are safe for concurrent
@@ -79,11 +87,15 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	if timeout == 0 {
 		timeout = 10 * time.Second
 	}
+	queueLen, err := resolveWriteQueueLen(cfg.WriteQueueLen)
+	if err != nil {
+		return nil, fmt.Errorf("stomp: ClientConfig.WriteQueueLen: %w", err)
+	}
+	if cfg.WriteTimeout < 0 {
+		return nil, fmt.Errorf("stomp: ClientConfig.WriteTimeout must not be negative, got %v", cfg.WriteTimeout)
+	}
 	dialer := &net.Dialer{Timeout: timeout}
-	var (
-		conn net.Conn
-		err  error
-	)
+	var conn net.Conn
 	if cfg.TLS != nil {
 		conn, err = tls.DialWithDialer(dialer, "tcp", addr, cfg.TLS)
 	} else {
@@ -103,7 +115,7 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 	// A write error kills the connection so the read loop unblocks and
 	// reports through OnError; the writer goroutine must not wait on
 	// Close (which waits on it in turn).
-	c.fw = newFrameWriter(conn, func(error) { _ = conn.Close() })
+	c.fw = newFrameWriter(conn, queueLen, cfg.WriteTimeout, func(error) { _ = conn.Close() })
 	fail := func(err error) (*Client, error) {
 		_ = conn.Close()
 		_ = c.fw.close()

@@ -48,6 +48,26 @@
 // Client.SendImageAsync returns a Receipt whose Wait settles later,
 // letting a producer keep a window of confirmed-in-order sends in flight
 // instead of paying a round trip per publish.
+//
+// # Flow control and slow consumers
+//
+// Every connection writes through a single coalescing writer goroutine
+// draining a bounded queue (ServerConfig/ClientConfig.WriteQueueLen,
+// default 128; negative lengths are rejected at construction). The queue
+// is where a peer that stops reading becomes visible, and the transport
+// offers the layers above three enqueue disciplines on the broadcast
+// path: Session.SendMessageImage blocks when full (lossless
+// back-pressure), TrySendMessageImage fails fast and leaves the overflow
+// decision to the caller, and SendMessageImageDropOldest evicts the
+// oldest queued broadcast deliveries — never control frames — reporting
+// each through ServerConfig.OnQueueEvict. WriteTimeout arms a per-write
+// deadline, re-armed before every encode and flush, so a peer making
+// progress is never penalised for batch size while a stalled one fails
+// its connection with a sticky error instead of wedging the writer; and
+// Session.Kill severs a connection without draining, for callers
+// evicting a consumer that demonstrably stopped reading. Queue occupancy
+// highs are tracked per session (Session.QueueHighWater) as the
+// early-warning signal.
 package stomp
 
 import (

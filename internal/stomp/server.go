@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // SessionHandler receives the frames of one authenticated client session.
@@ -89,12 +90,54 @@ func (s *Session) SendMessage(base *Frame, subscription, idPrefix string, seq ui
 // across all sessions delivering the same published event and is never
 // copied or mutated; only the two routing headers are encoded per
 // delivery, so fan-out to S sessions costs one marshal instead of S.
+//
+// A full queue blocks until the writer drains (back-pressure); the
+// non-blocking counterparts are TrySendMessageImage and
+// SendMessageImageDropOldest.
 func (s *Session) SendMessageImage(img *WireImage, subscription, idPrefix string, seq uint64) error {
 	if s.closed.Load() {
 		return net.ErrClosed
 	}
 	return s.fw.send(outFrame{img: img, sub: subscription, idPrefix: idPrefix, idSeq: seq})
 }
+
+// TrySendMessageImage is SendMessageImage without the blocking: a full
+// queue returns (false, nil) immediately, leaving the overflow decision —
+// drop, count, evict — to the caller. The broker's drop-newest and
+// disconnect overflow policies ride this path so a session that stopped
+// reading never stalls the publishing goroutine.
+func (s *Session) TrySendMessageImage(img *WireImage, subscription, idPrefix string, seq uint64) (bool, error) {
+	if s.closed.Load() {
+		return false, net.ErrClosed
+	}
+	return s.fw.trySend(outFrame{img: img, sub: subscription, idPrefix: idPrefix, idSeq: seq})
+}
+
+// SendMessageImageDropOldest enqueues the delivery like SendMessageImage
+// but, when the queue is full, evicts the oldest queued broadcast
+// deliveries to make room instead of blocking. Each evicted delivery is
+// reported synchronously through ServerConfig.OnQueueEvict with the
+// subscription and payload handle it was enqueued with; control frames
+// are never evicted (see frameWriter.sendDropOldest for the ordering
+// contract). payload is an opaque handle carried alongside the frame for
+// that report — the broker passes the delivered event.
+func (s *Session) SendMessageImageDropOldest(img *WireImage, subscription, idPrefix string, seq uint64, payload any) error {
+	if s.closed.Load() {
+		return net.ErrClosed
+	}
+	return s.fw.sendDropOldest(outFrame{img: img, payload: payload, sub: subscription, idPrefix: idPrefix, idSeq: seq})
+}
+
+// QueueDepth returns the number of frames currently queued for the
+// session's writer.
+func (s *Session) QueueDepth() int { return len(s.fw.ch) }
+
+// QueueCap returns the session's writer queue capacity.
+func (s *Session) QueueCap() int { return cap(s.fw.ch) }
+
+// QueueHighWater returns the deepest writer-queue occupancy observed on
+// this session — the slow-consumer early-warning signal.
+func (s *Session) QueueHighWater() int { return int(s.fw.highWater.Load()) }
 
 // SendError sends an ERROR frame with the given message; the STOMP spec
 // requires the connection to close afterwards, which the server does.
@@ -116,6 +159,22 @@ func (s *Session) Close() error {
 	return s.conn.Close()
 }
 
+// Kill severs the session immediately, discarding queued frames — the
+// slow-consumer eviction path. Unlike Close it never waits for the writer
+// to drain (the peer has demonstrably stopped reading), so it is safe to
+// call from a publishing goroutine: the connection is closed first, which
+// unblocks a writer wedged mid-flush with an error, and the writer then
+// discards the backlog and exits on its own. The session's read loop
+// observes the closed connection and runs the ordinary disconnect path.
+func (s *Session) Kill() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.conn.Close()
+	s.fw.kill()
+	return err
+}
+
 // Authenticator validates CONNECT credentials. It returns an error to
 // reject the connection.
 type Authenticator func(login, passcode string) error
@@ -131,12 +190,31 @@ type ServerConfig struct {
 	TLS *tls.Config
 	// Logf logs server events; nil uses log.Printf.
 	Logf func(format string, args ...any)
+	// WriteQueueLen is each session's writer queue length in frames; zero
+	// selects the default (128). NewServer rejects negative values: a
+	// queue must exist for back-pressure (or an overflow policy) to have
+	// meaning.
+	WriteQueueLen int
+	// WriteTimeout bounds every write and flush of a session's writer: a
+	// peer that stops reading fails its connection with a sticky deadline
+	// error instead of wedging the writer goroutine (and everything
+	// blocked behind its queue) forever. Zero disables the deadline; the
+	// close-time drain stays bounded by its own deadline either way.
+	WriteTimeout time.Duration
+	// OnQueueEvict observes broadcast deliveries evicted from a session's
+	// write queue by Session.SendMessageImageDropOldest: subscription and
+	// payload are the values the delivery was enqueued with. A mediating
+	// broker must account for every suppressed flow, so callers using the
+	// drop-oldest path should set this. Runs on the goroutine performing
+	// the evicting send and must not block.
+	OnQueueEvict func(sess *Session, subscription string, payload any)
 }
 
 // Server is a STOMP server: it owns the listener, performs the CONNECT
 // handshake, and hands authenticated sessions to the configured handler.
 type Server struct {
 	cfg      ServerConfig
+	queueLen int
 	listener net.Listener
 
 	mu       sync.Mutex
@@ -156,6 +234,13 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	queueLen, err := resolveWriteQueueLen(cfg.WriteQueueLen)
+	if err != nil {
+		return nil, fmt.Errorf("stomp: ServerConfig.WriteQueueLen: %w", err)
+	}
+	if cfg.WriteTimeout < 0 {
+		return nil, fmt.Errorf("stomp: ServerConfig.WriteTimeout must not be negative, got %v", cfg.WriteTimeout)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("stomp: listen: %w", err)
@@ -165,6 +250,7 @@ func NewServer(addr string, cfg ServerConfig) (*Server, error) {
 	}
 	srv := &Server{
 		cfg:      cfg,
+		queueLen: queueLen,
 		listener: ln,
 		sessions: make(map[uint64]*Session),
 	}
@@ -217,7 +303,11 @@ func (s *Server) acceptLoop() {
 		// A write error kills the connection so the session's read loop
 		// unblocks; the writer goroutine must not wait on Session.Close
 		// (which waits on it in turn).
-		sess.fw = newFrameWriter(conn, func(error) { _ = conn.Close() })
+		sess.fw = newFrameWriter(conn, s.queueLen, s.cfg.WriteTimeout, func(error) { _ = conn.Close() })
+		if s.cfg.OnQueueEvict != nil {
+			onEvict := s.cfg.OnQueueEvict
+			sess.fw.onEvict = func(of outFrame) { onEvict(sess, of.sub, of.payload) }
+		}
 		s.sessions[sess.id] = sess
 		s.mu.Unlock()
 

@@ -2,6 +2,7 @@ package stomp
 
 import (
 	"bufio"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -13,10 +14,26 @@ import (
 // full TCP buffer. close() arms it as a write deadline on the connection.
 const closeFlushTimeout = 2 * time.Second
 
-// writerQueueLen is the per-connection send queue length. A full queue
-// blocks senders, propagating back-pressure to the goroutines producing
-// frames (typically a peer connection's read loop).
-const writerQueueLen = 128
+// defaultWriteQueueLen is the per-connection send queue length when the
+// configuration does not override it. A full queue blocks senders,
+// propagating back-pressure to the goroutines producing frames (typically
+// a peer connection's read loop) — unless the sender chose one of the
+// non-blocking enqueue paths (trySend, sendDropOldest).
+const defaultWriteQueueLen = 128
+
+// resolveWriteQueueLen maps a configured queue length to the effective
+// one: zero selects the default, negative values are rejected so a
+// misconfigured connection fails at construction instead of panicking (or
+// silently degrading) at its first send.
+func resolveWriteQueueLen(n int) (int, error) {
+	switch {
+	case n == 0:
+		return defaultWriteQueueLen, nil
+	case n < 0:
+		return 0, fmt.Errorf("stomp: write queue length must be positive, got %d", n)
+	}
+	return n, nil
+}
 
 // outFrame pairs a queued frame with its flush class. For broadcast
 // MESSAGE sends, sub/idPrefix/seq carry the per-delivery routing headers
@@ -24,12 +41,15 @@ const writerQueueLen = 128
 // in-line. When img is set the frame is a preencoded wire image — the
 // hottest path — and only the per-send headers are encoded: the routing
 // headers when sub names a subscription (MESSAGE delivery), or the
-// receipt header when it does not (producer SEND image).
+// receipt header when it does not (producer SEND image). payload is an
+// opaque caller handle (the broker's event) reported back if the frame is
+// evicted by a drop-oldest enqueue; it is never touched otherwise.
 type outFrame struct {
-	f     *Frame
-	img   *WireImage // non-nil: preencoded image
-	sub   string     // non-empty: encode as MESSAGE with routing headers
-	idSeq uint64
+	f       *Frame
+	img     *WireImage // non-nil: preencoded image
+	payload any        // opaque handle for eviction reporting
+	sub     string     // non-empty: encode as MESSAGE with routing headers
+	idSeq   uint64
 
 	idPrefix string
 	receipt  string // img set, sub empty: SEND image receipt splice
@@ -47,15 +67,31 @@ type outFrame struct {
 //
 // The first write error is sticky: it is reported once to onError (which
 // should close the connection so the read side unblocks too), later sends
-// fail fast with it, and already-queued frames are discarded.
+// fail fast with it, and already-queued frames are discarded. After the
+// error the writer goroutine keeps draining (and discarding) the queue
+// until close, so blocked senders always make progress.
+//
+// With writeTimeout > 0 every write/flush runs under a deadline armed on
+// the connection, so a peer that stops reading fails the connection with
+// a sticky deadline error instead of wedging the writer goroutine (and
+// everything blocked behind its queue) forever.
 type frameWriter struct {
-	conn net.Conn
-	bw   *bufio.Writer
-	enc  Encoder
+	conn         net.Conn
+	bw           *bufio.Writer
+	enc          Encoder
+	writeTimeout time.Duration
 
 	ch   chan outFrame
-	quit chan struct{} // closed by close() under mu; run() drains and exits
+	quit chan struct{} // closed by close()/kill() under mu; run() drains and exits
 	done chan struct{} // closed when the writer goroutine exits
+
+	// onEvict observes broadcast deliveries evicted by sendDropOldest;
+	// set once before the first send, nil when unused.
+	onEvict func(of outFrame)
+
+	// highWater tracks the deepest queue occupancy observed at enqueue
+	// time — the slow-consumer early-warning signal surfaced in stats.
+	highWater atomic.Int64
 
 	// mu fences send against close: senders hold the read side across
 	// the enqueue, so once close() holds the write side and sets closed,
@@ -68,15 +104,21 @@ type frameWriter struct {
 	onError func(error)
 }
 
-// newFrameWriter starts the writer goroutine for conn.
-func newFrameWriter(conn net.Conn, onError func(error)) *frameWriter {
+// newFrameWriter starts the writer goroutine for conn. queueLen must be
+// positive (callers resolve configuration via resolveWriteQueueLen);
+// writeTimeout zero disables the per-flush deadline.
+func newFrameWriter(conn net.Conn, queueLen int, writeTimeout time.Duration, onError func(error)) *frameWriter {
+	if queueLen <= 0 {
+		panic("stomp: newFrameWriter queue length must be positive")
+	}
 	fw := &frameWriter{
-		conn:    conn,
-		bw:      bufio.NewWriterSize(conn, 32*1024),
-		ch:      make(chan outFrame, writerQueueLen),
-		quit:    make(chan struct{}),
-		done:    make(chan struct{}),
-		onError: onError,
+		conn:         conn,
+		bw:           bufio.NewWriterSize(conn, 32*1024),
+		writeTimeout: writeTimeout,
+		ch:           make(chan outFrame, queueLen),
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
+		onError:      onError,
 	}
 	go fw.run()
 	return fw
@@ -89,7 +131,8 @@ func newFrameWriter(conn net.Conn, onError func(error)) *frameWriter {
 // A send blocked on a full queue holds fw.mu's read side, which close()
 // needs for its write side — that is safe, not a deadlock: the writer
 // goroutine keeps draining until quit is closed, which close() can only
-// do after this send completes.
+// do after this send completes. (A writer wedged mid-flush on a dead peer
+// stalls that drain; arm writeTimeout to bound it.)
 func (fw *frameWriter) send(of outFrame) error {
 	if ep := fw.err.Load(); ep != nil {
 		return *ep
@@ -100,7 +143,88 @@ func (fw *frameWriter) send(of outFrame) error {
 		return net.ErrClosed
 	}
 	fw.ch <- of
+	fw.noteDepth()
 	return nil
+}
+
+// trySend is send without the blocking: a full queue returns (false, nil)
+// immediately instead of waiting for the writer to drain. The overflow
+// decision is the caller's — the broker's drop-newest and disconnect
+// policies ride this path so a stalled session never blocks the
+// publishing goroutine.
+func (fw *frameWriter) trySend(of outFrame) (bool, error) {
+	if ep := fw.err.Load(); ep != nil {
+		return false, *ep
+	}
+	fw.mu.RLock()
+	defer fw.mu.RUnlock()
+	if fw.closed {
+		return false, net.ErrClosed
+	}
+	select {
+	case fw.ch <- of:
+		fw.noteDepth()
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// sendDropOldest enqueues of, evicting queued broadcast deliveries
+// (sub != "") from the head of the queue while it is full — the
+// drop-oldest overflow policy. Every evicted delivery is reported through
+// onEvict on the calling goroutine; the enqueue itself never blocks on a
+// stalled peer. Control frames (receipts, errors, handshake traffic)
+// encountered at the head are never dropped: they are re-enqueued at the
+// tail, which may reorder them relative to other control frames (each
+// carries its own correlation id) but never relative to broadcast
+// deliveries, which are only ever dropped, not reordered.
+func (fw *frameWriter) sendDropOldest(of outFrame) error {
+	if ep := fw.err.Load(); ep != nil {
+		return *ep
+	}
+	fw.mu.RLock()
+	defer fw.mu.RUnlock()
+	if fw.closed {
+		return net.ErrClosed
+	}
+	for {
+		select {
+		case fw.ch <- of:
+			fw.noteDepth()
+			return nil
+		default:
+		}
+		select {
+		case old := <-fw.ch:
+			if old.sub != "" {
+				if fw.onEvict != nil {
+					fw.onEvict(old)
+				}
+				continue
+			}
+			// A control frame must reach the peer: put it back. The slot
+			// this pop just freed makes the re-enqueue all but certain to
+			// succeed immediately; losing the race to a concurrent sender
+			// degrades to a (briefly) blocking put, identical to send().
+			fw.ch <- old
+		default:
+			// The writer drained the queue between attempts; retry.
+		}
+	}
+}
+
+// noteDepth folds the post-enqueue queue depth into the high-water mark.
+// Steady state is a single load (depth below the mark), so the fan-out
+// fast path pays no CAS once the mark stabilises.
+func (fw *frameWriter) noteDepth() {
+	d := int64(len(fw.ch))
+	for {
+		cur := fw.highWater.Load()
+		if d <= cur || fw.highWater.CompareAndSwap(cur, d) {
+			return
+		}
+	}
 }
 
 // close stops accepting frames, waits for the queue to drain and flush,
@@ -121,6 +245,21 @@ func (fw *frameWriter) close() error {
 		return *ep
 	}
 	return nil
+}
+
+// kill is close without the drain guarantee: it marks the writer closed
+// and returns without waiting for the goroutine to exit — the
+// slow-consumer eviction path, safe to call from a publishing goroutine.
+// The caller must close the connection first so a flush wedged on the
+// dead peer unblocks with an error; the writer goroutine then drains the
+// queue into the sticky error and exits on its own.
+func (fw *frameWriter) kill() {
+	fw.mu.Lock()
+	if !fw.closed {
+		fw.closed = true
+		close(fw.quit)
+	}
+	fw.mu.Unlock()
 }
 
 func (fw *frameWriter) run() {
@@ -158,6 +297,7 @@ func (fw *frameWriter) write(of outFrame) {
 	if fw.err.Load() != nil {
 		return // connection is dead; discard
 	}
+	fw.armDeadline()
 	var err error
 	switch {
 	case of.img != nil && of.sub != "":
@@ -182,8 +322,21 @@ func (fw *frameWriter) flush() {
 	if fw.err.Load() != nil {
 		return
 	}
+	fw.armDeadline()
 	if err := fw.bw.Flush(); err != nil {
 		fw.fail(err)
+	}
+}
+
+// armDeadline (re)arms the per-flush write deadline. It is refreshed
+// before every frame encode and every flush, so a peer making progress is
+// never penalised for the size of a batch, while a peer that stops
+// reading fails the connection within writeTimeout of the writer's next
+// blocked write. During the close drain this may extend (or tighten) the
+// deadline close() armed; either way every write stays bounded.
+func (fw *frameWriter) armDeadline() {
+	if fw.writeTimeout > 0 {
+		_ = fw.conn.SetWriteDeadline(time.Now().Add(fw.writeTimeout))
 	}
 }
 

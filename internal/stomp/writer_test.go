@@ -1,0 +1,318 @@
+package stomp
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestResolveWriteQueueLen(t *testing.T) {
+	if n, err := resolveWriteQueueLen(0); err != nil || n != defaultWriteQueueLen {
+		t.Errorf("resolveWriteQueueLen(0) = %d, %v; want %d, nil", n, err, defaultWriteQueueLen)
+	}
+	if n, err := resolveWriteQueueLen(7); err != nil || n != 7 {
+		t.Errorf("resolveWriteQueueLen(7) = %d, %v; want 7, nil", n, err)
+	}
+	if _, err := resolveWriteQueueLen(-1); err == nil {
+		t.Error("resolveWriteQueueLen(-1) accepted; want error")
+	}
+}
+
+func TestServerRejectsBadWriteConfig(t *testing.T) {
+	if _, err := NewServer("127.0.0.1:0", ServerConfig{
+		Handler:       newEchoHandler(),
+		WriteQueueLen: -1,
+	}); err == nil {
+		t.Error("NewServer accepted negative WriteQueueLen")
+	}
+	if _, err := NewServer("127.0.0.1:0", ServerConfig{
+		Handler:      newEchoHandler(),
+		WriteTimeout: -time.Second,
+	}); err == nil {
+		t.Error("NewServer accepted negative WriteTimeout")
+	}
+	// Dial validates before connecting, so a bogus address is fine here.
+	if _, err := Dial("127.0.0.1:1", ClientConfig{Login: "u", WriteQueueLen: -1}); err == nil {
+		t.Error("Dial accepted negative WriteQueueLen")
+	}
+	if _, err := Dial("127.0.0.1:1", ClientConfig{Login: "u", WriteTimeout: -time.Second}); err == nil {
+		t.Error("Dial accepted negative WriteTimeout")
+	}
+}
+
+// sessionCapture is a SessionHandler that hands the accepted session to
+// the test.
+type sessionCapture struct {
+	sessions chan *Session
+}
+
+func (h *sessionCapture) OnConnect(sess *Session, login string) error {
+	h.sessions <- sess
+	return nil
+}
+func (h *sessionCapture) OnFrame(*Session, *Frame) error { return nil }
+func (h *sessionCapture) OnDisconnect(*Session)          {}
+
+func TestSessionQueueCapReflectsConfig(t *testing.T) {
+	h := &sessionCapture{sessions: make(chan *Session, 1)}
+	srv, err := NewServer("127.0.0.1:0", ServerConfig{
+		Handler:       h,
+		Logf:          t.Logf,
+		WriteQueueLen: 7,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer srv.Close()
+	client, err := Dial(srv.Addr(), ClientConfig{Login: "u"})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+	select {
+	case sess := <-h.sessions:
+		if got := sess.QueueCap(); got != 7 {
+			t.Errorf("QueueCap() = %d, want 7", got)
+		}
+		if got := sess.QueueDepth(); got < 0 || got > 7 {
+			t.Errorf("QueueDepth() = %d, want 0..7", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no session accepted")
+	}
+}
+
+// stalledWriter builds a frameWriter whose peer never reads: the writer
+// goroutine picks up the first frame and wedges in the write, so the queue
+// fills deterministically. The returned cleanup unblocks and joins the
+// writer goroutine.
+func stalledWriter(t *testing.T, queueLen int) (*frameWriter, func()) {
+	t.Helper()
+	server, client := net.Pipe()
+	fw := newFrameWriter(server, queueLen, 0, nil)
+	cleanup := func() {
+		fw.kill()
+		_ = server.Close() // unwedge the writer goroutine with an error
+		_ = client.Close()
+		<-fw.done
+	}
+	t.Cleanup(cleanup)
+	return fw, cleanup
+}
+
+// fillQueue sends frames until the writer has one frame wedged in its
+// write and queueLen frames queued, i.e. the next enqueue would block.
+func fillQueue(t *testing.T, fw *frameWriter, queueLen int) {
+	t.Helper()
+	mk := func(i int) outFrame {
+		f := NewFrame(CmdMessage)
+		f.SetHeader("i", string(rune('a'+i)))
+		return outFrame{f: f, sub: "s1"}
+	}
+	// First frame: wakes the writer, which wedges in the pipe write. The
+	// flush flag makes it wedge inside write() — before drainQueued could
+	// race the fills below off the queue.
+	first := mk(0)
+	first.flush = true
+	if err := fw.send(first); err != nil {
+		t.Fatalf("send 0: %v", err)
+	}
+	// Wait until the writer has taken it off the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(fw.ch) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never picked up the first frame")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 1; i <= queueLen; i++ {
+		if err := fw.send(mk(i)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if len(fw.ch) != queueLen {
+		t.Fatalf("queue depth %d after fill, want %d", len(fw.ch), queueLen)
+	}
+}
+
+func TestTrySendFullQueueDoesNotBlock(t *testing.T) {
+	const queueLen = 4
+	fw, _ := stalledWriter(t, queueLen)
+	fillQueue(t, fw, queueLen)
+
+	done := make(chan struct{})
+	var ok bool
+	var err error
+	go func() {
+		defer close(done)
+		ok, err = fw.trySend(outFrame{f: NewFrame(CmdMessage), sub: "s1"})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("trySend blocked on a full queue")
+	}
+	if ok || err != nil {
+		t.Errorf("trySend on full queue = %v, %v; want false, nil", ok, err)
+	}
+	if got := fw.highWater.Load(); got != queueLen {
+		t.Errorf("high-water mark %d, want %d", got, queueLen)
+	}
+}
+
+func TestSendDropOldestEvictsDeliveriesNotControl(t *testing.T) {
+	const queueLen = 2
+	fw, _ := stalledWriter(t, queueLen)
+
+	var mu sync.Mutex
+	var evicted []outFrame
+	fw.onEvict = func(of outFrame) {
+		mu.Lock()
+		evicted = append(evicted, of)
+		mu.Unlock()
+	}
+
+	// Wedge the writer on a first delivery (the flush flag wedges it
+	// inside write(), before it could drain more of the queue), then queue
+	// a control frame (RECEIPT, sub empty) followed by a delivery: the
+	// queue is [control, B].
+	if err := fw.send(outFrame{f: NewFrame(CmdMessage), sub: "s1", payload: "A", flush: true}); err != nil {
+		t.Fatalf("send A: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(fw.ch) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never picked up the first frame")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	receipt := NewFrame(CmdReceipt)
+	receipt.SetHeader(HdrReceiptID, "r1")
+	if err := fw.send(outFrame{f: receipt, flush: true}); err != nil {
+		t.Fatalf("send control: %v", err)
+	}
+	if err := fw.send(outFrame{f: NewFrame(CmdMessage), sub: "s1", payload: "B"}); err != nil {
+		t.Fatalf("send B: %v", err)
+	}
+
+	// Drop-oldest enqueue of C: the control frame at the head must be
+	// re-enqueued, delivery B evicted, C queued.
+	done := make(chan error, 1)
+	go func() {
+		done <- fw.sendDropOldest(outFrame{f: NewFrame(CmdMessage), sub: "s1", payload: "C"})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("sendDropOldest: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sendDropOldest blocked")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(evicted) != 1 {
+		t.Fatalf("%d deliveries evicted, want 1 (got %+v)", len(evicted), evicted)
+	}
+	if evicted[0].payload != "B" || evicted[0].sub != "s1" {
+		t.Errorf("evicted payload %v sub %q, want B s1", evicted[0].payload, evicted[0].sub)
+	}
+	// The queue must still hold the control frame (never evicted) and C.
+	if len(fw.ch) != queueLen {
+		t.Fatalf("queue depth %d, want %d", len(fw.ch), queueLen)
+	}
+	var kept []outFrame
+	for len(fw.ch) > 0 {
+		kept = append(kept, <-fw.ch)
+	}
+	foundControl, foundC := false, false
+	for _, of := range kept {
+		if of.sub == "" && of.f.Command == CmdReceipt {
+			foundControl = true
+		}
+		if of.payload == "C" {
+			foundC = true
+		}
+	}
+	if !foundControl || !foundC {
+		t.Errorf("queue after drop-oldest kept control=%v C=%v, want both", foundControl, foundC)
+	}
+}
+
+// TestWriteTimeoutFailsStalledPeer: with WriteTimeout set, a peer that
+// stops reading fails the connection with a sticky deadline error instead
+// of wedging the writer goroutine forever.
+func TestWriteTimeoutFailsStalledPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			accepted <- conn
+		}
+	}()
+	peer, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer peer.Close()
+	if tc, ok := peer.(*net.TCPConn); ok {
+		_ = tc.SetReadBuffer(4096) // bound what the kernel absorbs for the non-reader
+	}
+	var conn net.Conn
+	select {
+	case conn = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept timed out")
+	}
+	defer conn.Close()
+
+	errs := make(chan error, 1)
+	fw := newFrameWriter(conn, 16, 100*time.Millisecond, func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+		_ = conn.Close()
+	})
+	defer func() {
+		fw.kill()
+		_ = conn.Close()
+		<-fw.done
+	}()
+
+	// The peer never reads: pump large frames until the buffers fill, the
+	// flush wedges, and the deadline fires.
+	body := make([]byte, 32*1024)
+	f := NewFrame(CmdMessage)
+	f.Body = body
+	deadline := time.Now().Add(30 * time.Second)
+	var sticky error
+	for sticky == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("write deadline never fired against a stalled peer")
+		}
+		if err := fw.send(outFrame{f: f, sub: "s1"}); err != nil {
+			sticky = err
+		}
+	}
+	if !errors.Is(sticky, os.ErrDeadlineExceeded) {
+		t.Errorf("sticky error = %v, want deadline exceeded", sticky)
+	}
+	select {
+	case err := <-errs:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Errorf("onError got %v, want deadline exceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("onError never fired")
+	}
+}
