@@ -37,6 +37,8 @@ func main() {
 		"per-session delivery queue length in frames (with -network-broker; 0 = default 128)")
 	writeTimeout := flag.Duration("write-timeout", 0,
 		"per-flush write deadline for broker sessions (with -network-broker; 0 = unbounded)")
+	subscribeCredit := flag.Int("subscribe-credit", 0,
+		"per-subscription delivery window in messages, replenished as units complete callbacks (with -network-broker; 0 = no credit flow control)")
 	importEvery := flag.Duration("import-every", 0, "periodic re-import interval (0 = import once)")
 	flag.Parse()
 
@@ -46,23 +48,25 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*httpAddr, *patients, *seed, *password, *networkBroker, *publishWindow,
-		policy, *writeQueue, *writeTimeout, *importEvery); err != nil {
+		policy, *writeQueue, *writeTimeout, *subscribeCredit, *importEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "mdt-portal:", err)
 		os.Exit(1)
 	}
 }
 
 func run(httpAddr string, patients int, seed int64, password string, networkBroker bool, publishWindow int,
-	overflow broker.OverflowPolicy, writeQueue int, writeTimeout, importEvery time.Duration) error {
+	overflow broker.OverflowPolicy, writeQueue int, writeTimeout time.Duration, subscribeCredit int,
+	importEvery time.Duration) error {
 	d, err := mdt.Deploy(mdt.DeployConfig{
-		Registry:      maindb.Config{Seed: seed, Patients: patients},
-		Password:      password,
-		NetworkBroker: networkBroker,
-		PublishWindow: publishWindow,
-		Overflow:      overflow,
-		WriteQueueLen: writeQueue,
-		WriteTimeout:  writeTimeout,
-		Logf:          log.Printf,
+		Registry:        maindb.Config{Seed: seed, Patients: patients},
+		Password:        password,
+		NetworkBroker:   networkBroker,
+		PublishWindow:   publishWindow,
+		Overflow:        overflow,
+		WriteQueueLen:   writeQueue,
+		WriteTimeout:    writeTimeout,
+		SubscribeCredit: subscribeCredit,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		return err
@@ -107,8 +111,9 @@ func run(httpAddr string, patients int, seed int64, password string, networkBrok
 		front.Requests, front.Blocked, front.AuthFailures)
 	if d.BrokerServer != nil {
 		bs := d.BrokerServer.Stats()
-		log.Printf("broker front: %d deliveries dropped, %d overflow drops, %d slow-consumer evictions, queue high-water %d",
-			bs.DroppedDeliveries, bs.OverflowDrops, bs.SlowConsumerEvictions, bs.QueueHighWater)
+		log.Printf("broker front: %d deliveries dropped, %d overflow drops, %d slow-consumer evictions, queue high-water %d, %d credit stalls, %d unhandled frames",
+			bs.DroppedDeliveries, bs.OverflowDrops, bs.SlowConsumerEvictions, bs.QueueHighWater,
+			bs.CreditStalls, bs.UnhandledFrames)
 	}
 	return nil
 }

@@ -41,6 +41,8 @@ func main() {
 		"per-session delivery queue length in frames (with -network-broker; 0 = default 128)")
 	writeTimeout := flag.Duration("write-timeout", 0,
 		"per-flush write deadline for broker sessions (with -network-broker; 0 = unbounded)")
+	subscribeCredit := flag.Int("subscribe-credit", 0,
+		"per-subscription delivery window in messages, replenished as units complete callbacks (with -network-broker; 0 = no credit flow control)")
 	flag.Parse()
 
 	policy, err := broker.ParseOverflowPolicy(*overflow)
@@ -48,14 +50,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mdtportal:", err)
 		os.Exit(2)
 	}
-	if err := run(*patients, *serve, *networkBroker, *publishWindow, policy, *writeQueue, *writeTimeout); err != nil {
+	if err := run(*patients, *serve, *networkBroker, *publishWindow, policy,
+		*writeQueue, *writeTimeout, *subscribeCredit); err != nil {
 		fmt.Fprintln(os.Stderr, "mdtportal:", err)
 		os.Exit(1)
 	}
 }
 
 func run(patients int, serve bool, networkBroker bool, publishWindow int,
-	overflow broker.OverflowPolicy, writeQueue int, writeTimeout time.Duration) error {
+	overflow broker.OverflowPolicy, writeQueue int, writeTimeout time.Duration, subscribeCredit int) error {
 	fmt.Printf("deploying MDT portal (%d patients, network broker: %v)\n", patients, networkBroker)
 	d, err := mdt.Deploy(mdt.DeployConfig{
 		Registry:      maindb.Config{Seed: 2026, Patients: patients},
@@ -66,10 +69,13 @@ func run(patients int, serve bool, networkBroker bool, publishWindow int,
 		PublishWindow: publishWindow,
 		// Slow-consumer protection for the broker front: bounded
 		// per-session delivery queues with an explicit overflow policy
-		// and an optional per-flush write deadline.
-		Overflow:      overflow,
-		WriteQueueLen: writeQueue,
-		WriteTimeout:  writeTimeout,
+		// and an optional per-flush write deadline; credit adds proactive
+		// per-subscription delivery windows replenished as the engine
+		// completes callbacks.
+		Overflow:        overflow,
+		WriteQueueLen:   writeQueue,
+		WriteTimeout:    writeTimeout,
+		SubscribeCredit: subscribeCredit,
 	})
 	if err != nil {
 		return err

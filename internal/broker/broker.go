@@ -42,6 +42,26 @@
 // with no intermediate header map — optionally pipelined through a
 // receipt-confirmed publish window (ClientConfig.PublishWindow) and
 // sharded per topic (ClientConfig.PublishShards).
+//
+// # Credit-based flow control
+//
+// Consumers can bound how far the broker may run ahead of them. With
+// ClientConfig.SubscribeCredit = n the client's SUBSCRIBE advertises a
+// delivery window of n messages (the credit header); the Server tracks
+// granted-versus-sent per wire subscription with atomic counters and
+// parks matched deliveries in a bounded per-subscription pending ring
+// (ServerConfig.CreditPending) once the window is exhausted, falling
+// back to the session's overflow policy only if the ring also fills.
+// The client replenishes by sending ACK frames carrying cumulative
+// credit grants — batched at the half-window low-water mark and driven
+// by the delivery events' Release lifecycle, so credit reflects
+// callbacks the consumer engine actually completed, not frames it
+// merely received. Grants are idempotent (applied max-wins), stalls are
+// observable (ServerStats.CreditStalls, SessionStats.CreditParked, the
+// OnCreditStall hook), and subscriptions without the header keep the
+// exact uncredited wire behaviour. Unknown or malformed client frames
+// — ACKs without a usable grant, transactions — are answered with an
+// ERROR naming the command and counted in ServerStats.UnhandledFrames.
 package broker
 
 import (

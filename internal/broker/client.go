@@ -4,6 +4,7 @@ import (
 	"crypto/tls"
 	"errors"
 	"fmt"
+	"net"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,19 @@ type ClientConfig struct {
 	// behind undelivered MESSAGE frames there would deadlock the window
 	// against the very callback waiting on it.
 	PublishWindow int
+
+	// SubscribeCredit arms credit-based flow control on every subscription
+	// this client creates: each SUBSCRIBE advertises a delivery window of
+	// that many messages, and the client replenishes it automatically as
+	// deliveries complete — when the engine (or any consumer) releases a
+	// delivery event (Event.Release), the client counts it consumed and,
+	// once half the window has completed, sends a cumulative credit grant
+	// on an ACK frame (about two control frames per window). The broker
+	// parks deliveries beyond the window server-side instead of flooding
+	// the connection, so a consumer that falls behind sheds load at the
+	// broker — before the write queue, where the overflow policy would
+	// start dropping. Zero disables credit: wire behaviour is unchanged.
+	SubscribeCredit int
 
 	// PublishShards spreads publishes across that many connections,
 	// mirroring Shards on the consumer side; 0 or 1 pins all publishes to
@@ -221,6 +235,56 @@ func (w *pubWindow) flush() error {
 	w.inflight = w.inflight[:0]
 	w.head = 0
 	return w.err
+}
+
+// creditTracker replenishes one credited subscription's delivery window.
+// It rides the delivery lifecycle the engine already has: every delivery
+// event carries a NotifyRelease hook bound to done, so a completed
+// callback — Event.Release at the engine's callback-completion point —
+// counts as consumption without wrapping the handler.
+//
+// granted is the cumulative allowance last sent to the broker; consumed
+// counts completed deliveries. A grant is sent when the next allowance
+// (consumed + window) is at least half a window ahead of the last one —
+// batching replenishment to about two ACK frames per window — and restates
+// the cumulative total, so duplicated or reordered grants are idempotent
+// on the broker.
+type creditTracker struct {
+	conn    *stomp.Client
+	window  int64
+	onError func(error)
+	// subID is the wire subscription id, captured from the first
+	// delivery's subscription header on the shard read goroutine before
+	// the handler runs; every done call is downstream of a delivery, so
+	// the write happens-before all reads.
+	subID string
+	// doneFn is the pre-bound done method value, created once so the
+	// per-delivery NotifyRelease costs no allocation.
+	doneFn func()
+
+	consumed atomic.Int64
+	granted  atomic.Int64
+}
+
+// done records one consumed delivery and sends a batched cumulative grant
+// when half the window has completed. Safe for concurrent use: the CAS on
+// granted elects exactly one sender per batch.
+func (t *creditTracker) done() {
+	consumed := t.consumed.Add(1)
+	for {
+		g := t.granted.Load()
+		next := consumed + t.window
+		if next-g < (t.window+1)/2 {
+			return
+		}
+		if t.granted.CompareAndSwap(g, next) {
+			err := t.conn.SendCreditGrant(t.subID, next)
+			if err != nil && !errors.Is(err, net.ErrClosed) && t.onError != nil {
+				t.onError(fmt.Errorf("broker: credit grant for %s: %w", t.subID, err))
+			}
+			return
+		}
+	}
 }
 
 // shardSub records where a subscription lives so Unsubscribe can route to
@@ -385,24 +449,47 @@ func (c *Client) Flush() error {
 // Subscribe implements Bus. The subscription is placed on one connection
 // (round-robin across shards) and its deliveries are decoded map-free:
 // the STOMP frame view feeds event.UnmarshalView in a single pass, with
-// body ownership handed to the event.
+// body ownership handed to the event. With SubscribeCredit set, the
+// SUBSCRIBE advertises a delivery window and a creditTracker replenishes
+// it as deliveries are released.
 func (c *Client) Subscribe(topic, sel string, handler Handler) (string, error) {
 	idx := 0
 	if c.subConns > 1 {
 		idx = int((c.rr.Add(1) - 1) % uint64(c.subConns))
 	}
 	sh := c.shards[idx]
-	raw, err := sh.conn.SubscribeView(topic, sel, nil, func(v *stomp.FrameView) {
+	var tr *creditTracker
+	var extra map[string]string
+	if c.cfg.SubscribeCredit > 0 {
+		tr = &creditTracker{conn: sh.conn, window: int64(c.cfg.SubscribeCredit), onError: c.cfg.OnError}
+		tr.granted.Store(tr.window)
+		tr.doneFn = tr.done
+		extra = map[string]string{stomp.HdrCredit: strconv.Itoa(c.cfg.SubscribeCredit)}
+	}
+	raw, err := sh.conn.SubscribeView(topic, sel, extra, func(v *stomp.FrameView) {
+		if tr != nil && tr.subID == "" {
+			// First delivery: the wire subscription id (which deliveries can
+			// carry before SubscribeView even returns) names the grants.
+			tr.subID = v.Headers.Header(stomp.HdrSubscription)
+		}
 		// Delivery unmarshal: the event comes from the delivery pool and
 		// is recycled (Event.Release) when its consumer — the engine's
 		// subscription worker — finishes the callback. Handlers must not
 		// retain it past their own return.
 		ev, err := event.UnmarshalViewDelivery(&v.Headers, v.Body, &sh.cache)
 		if err != nil {
+			if tr != nil {
+				// The broker spent a credit on this delivery; an undecodable
+				// frame still consumes it, or the window would leak shut.
+				tr.doneFn()
+			}
 			if c.cfg.OnError != nil {
 				c.cfg.OnError(err)
 			}
 			return
+		}
+		if tr != nil {
+			ev.NotifyRelease(tr.doneFn)
 		}
 		handler(ev)
 	})

@@ -1,0 +1,260 @@
+package broker
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"safeweb/internal/event"
+)
+
+// Credit-based flow control: the proactive half of slow-consumer
+// protection. A SUBSCRIBE frame may advertise a delivery window in a
+// credit header; the server then puts at most that many MESSAGE frames on
+// the wire for the subscription before further matched deliveries park in
+// a bounded per-subscription pending ring, and the consumer replenishes
+// the window with ACK frames carrying a cumulative grant. The reactive
+// overflow machinery (OverflowPolicy on the session write queue) stays in
+// place underneath as the safety net: it only acts once the pending ring
+// itself overflows, or for subscriptions that advertised no window.
+//
+// Accounting is two monotonic counters per wire subscription — granted
+// (the consumer's cumulative allowance) and sent (deliveries claimed
+// against it) — so remaining credit is granted-sent and a grant is
+// naturally idempotent: applying it is a CAS-max, and a duplicate or
+// reordered grant can only be a no-op. The fan-out fast path takes no
+// lock: a delivery claims credit with a load (is anything parked?) and a
+// CAS on sent. The per-subscription mutex guards only the slow path — the
+// pending ring a delivery parks in once credit is exhausted.
+
+// defaultCreditPending is the per-subscription pending ring capacity when
+// ServerConfig.CreditPending is zero.
+const defaultCreditPending = 32
+
+// CreditStallEvent describes a credited subscription whose window just ran
+// dry, reported through ServerConfig.OnCreditStall once per stall run: the
+// first delivery that parks raises it, and the run ends when a grant
+// drains the pending ring empty.
+type CreditStallEvent struct {
+	// SessionID and Login identify the stalled consumer's session.
+	SessionID uint64
+	Login     string
+	// Subscription is the client-chosen wire subscription id.
+	Subscription string
+	// Granted and Sent are the subscription's cumulative allowance and
+	// deliveries sent at the time of the stall (remaining credit is their
+	// difference, zero here by construction).
+	Granted int64
+	Sent    int64
+	// Parked is the pending-ring occupancy after the stalling delivery
+	// parked.
+	Parked int
+}
+
+// wireSub pairs a broker subscription with its optional credit window.
+// credit is nil for subscriptions that advertised no window — infinite
+// credit, the pre-credit wire behaviour.
+type wireSub struct {
+	sub    *Subscription
+	credit *creditState
+}
+
+// creditState is one wire subscription's flow-control window.
+//
+// The atomics are the fast path: tryClaim runs on the publishing goroutine
+// for every matched delivery and takes no lock. mu guards the pending ring
+// and the stall/closed flags; lock order is creditState.mu before
+// Server.mu (drain paths call into delivery accounting, which may take the
+// server lock) — never acquire creditState.mu while holding Server.mu.
+type creditState struct {
+	// granted is the consumer's cumulative delivery allowance; sent counts
+	// deliveries claimed against it. Remaining credit is granted-sent.
+	granted atomic.Int64
+	sent    atomic.Int64
+	// parked mirrors the ring occupancy for the lock-free fast path: any
+	// nonzero value forces new deliveries to park behind the ring so
+	// per-publisher order survives a stall.
+	parked atomic.Int32
+
+	mu sync.Mutex
+	// space signals a freed ring slot to publishers blocked in
+	// parkDelivery under OverflowBlock.
+	space sync.Cond
+	// ring is the bounded pending buffer, a circular queue of n events
+	// starting at head.
+	ring    []*event.Event
+	head, n int
+	// stalled marks an in-progress stall run (set on the first park,
+	// cleared when a grant drains the ring empty); closed marks
+	// subscription teardown — parked and incoming deliveries are dropped
+	// as to a closed session.
+	stalled bool
+	closed  bool
+}
+
+func newCreditState(window int64, pending int) *creditState {
+	c := &creditState{ring: make([]*event.Event, pending)}
+	c.granted.Store(window)
+	c.space.L = &c.mu
+	return c
+}
+
+// tryClaim consumes one credit on the lock-free fast path. It fails when
+// deliveries are already parked — even with credit in hand, a new delivery
+// must queue behind the ring to keep per-publisher order — or when the
+// window is exhausted.
+func (c *creditState) tryClaim() bool {
+	if c.parked.Load() != 0 {
+		return false
+	}
+	return c.claim()
+}
+
+// claim CASes one credit out of the window, returning false when none
+// remains. Safe with or without c.mu held.
+func (c *creditState) claim() bool {
+	for {
+		sent := c.sent.Load()
+		if sent >= c.granted.Load() {
+			return false
+		}
+		if c.sent.CompareAndSwap(sent, sent+1) {
+			return true
+		}
+	}
+}
+
+func (c *creditState) pushLocked(ev *event.Event) {
+	c.ring[(c.head+c.n)%len(c.ring)] = ev
+	c.n++
+	c.parked.Store(int32(c.n))
+}
+
+func (c *creditState) popLocked() *event.Event {
+	ev := c.ring[c.head]
+	c.ring[c.head] = nil
+	c.head = (c.head + 1) % len(c.ring)
+	c.n--
+	c.parked.Store(int32(c.n))
+	return ev
+}
+
+// parkDelivery handles a matched delivery that could not claim credit: it
+// parks in the subscription's pending ring, and a full ring falls through
+// to the server's overflow policy — the PR 6 machinery acting as safety
+// net. Runs on the publishing goroutine; under OverflowBlock a full ring
+// blocks it (bounded by a grant, teardown, or eviction), mirroring the
+// write-queue semantics of the policy one layer down.
+func (s *Server) parkDelivery(ss *serverSession, ws *wireSub, clientSubID string, ev *event.Event) {
+	c := ws.credit
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			s.dropDelivery(ss, clientSubID, ev, net.ErrClosed)
+			return
+		}
+		// Re-check under the lock: a grant may have drained the ring since
+		// the fast path failed. Order matters — only an empty ring lets a
+		// fresh claim jump the queue.
+		if c.n == 0 && c.claim() {
+			c.mu.Unlock()
+			s.sendDelivery(ss, clientSubID, ev)
+			return
+		}
+		if c.n < len(c.ring) {
+			break
+		}
+		switch s.cfg.Overflow {
+		case OverflowBlock:
+			c.space.Wait()
+		case OverflowDropOldest:
+			oldest := c.popLocked()
+			c.mu.Unlock()
+			s.overflowDrop(ss, clientSubID, oldest)
+			c.mu.Lock()
+		default: // OverflowDropNewest, OverflowDisconnect
+			c.mu.Unlock()
+			s.overflowDrop(ss, clientSubID, ev)
+			return
+		}
+	}
+	c.pushLocked(ev)
+	firstStall := !c.stalled
+	c.stalled = true
+	var stall CreditStallEvent
+	if firstStall {
+		stall = CreditStallEvent{
+			SessionID:    ss.sess.ID(),
+			Login:        ss.sess.Login(),
+			Subscription: clientSubID,
+			Granted:      c.granted.Load(),
+			Sent:         c.sent.Load(),
+			Parked:       c.n,
+		}
+	}
+	c.mu.Unlock()
+	if firstStall {
+		s.creditStalls.Add(1)
+		ss.creditStalls.Add(1)
+		if s.cfg.OnCreditStall != nil {
+			s.cfg.OnCreditStall(stall)
+		}
+	}
+}
+
+// creditGrant applies a cumulative replenishment grant and drains as much
+// of the pending ring as the new window covers, in park order. A stale or
+// duplicate grant (no larger than the current allowance) is an idempotent
+// no-op. Runs on the granting session's read goroutine; the ring lock is
+// held across the drain so parked order is preserved against concurrent
+// publishers.
+func (s *Server) creditGrant(ss *serverSession, clientSubID string, ws *wireSub, grant int64) {
+	c := ws.credit
+	for {
+		cur := c.granted.Load()
+		if grant <= cur {
+			return
+		}
+		if c.granted.CompareAndSwap(cur, grant) {
+			break
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.n > 0 && !c.closed {
+		if !c.claim() {
+			return
+		}
+		ev := c.popLocked()
+		c.space.Broadcast()
+		s.sendDelivery(ss, clientSubID, ev)
+	}
+	if c.n == 0 {
+		// Ring drained: the stall run is over; the next park starts a new
+		// one.
+		c.stalled = false
+	}
+}
+
+// closeCredit tears down a credited subscription: parked deliveries are
+// dropped (accounted like deliveries to a closed session) and publishers
+// blocked on a full ring are released to observe closed.
+func (s *Server) closeCredit(ss *serverSession, clientSubID string, ws *wireSub) {
+	c := ws.credit
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.closed = true
+	c.stalled = false
+	var dropped []*event.Event
+	for c.n > 0 {
+		dropped = append(dropped, c.popLocked())
+	}
+	c.space.Broadcast()
+	c.mu.Unlock()
+	for _, ev := range dropped {
+		s.dropDelivery(ss, clientSubID, ev, net.ErrClosed)
+	}
+}

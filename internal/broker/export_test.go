@@ -24,7 +24,7 @@ func (s *Server) KillSessionAndDeliver(sessionID uint64, clientSubID string, ev 
 		return false
 	}
 	_ = ss.sess.Kill()
-	s.deliver(ss, clientSubID, ev)
+	s.deliver(ss, nil, clientSubID, ev)
 	return true
 }
 

@@ -32,12 +32,13 @@ func (u pipeUnit) Init(ctx *engine.InitContext) error { return u.init(ctx) }
 func BenchmarkNetworkPipeline(b *testing.B) {
 	for _, bc := range []struct {
 		fanout, shards, window int
-		stalled                bool
+		stalled, credited      bool
 	}{
-		{1, 1, 0, false}, {1, 1, 64, false}, {10, 1, 0, false},
-		{100, 1, 0, false}, {100, 4, 0, false}, {100, 1, 0, true},
+		{fanout: 1, shards: 1}, {fanout: 1, shards: 1, window: 64}, {fanout: 10, shards: 1},
+		{fanout: 100, shards: 1}, {fanout: 100, shards: 4}, {fanout: 100, shards: 1, stalled: true},
+		{fanout: 100, shards: 1, credited: true},
 	} {
-		fanout, shards, window, stalled := bc.fanout, bc.shards, bc.window, bc.stalled
+		fanout, shards, window, stalled, credited := bc.fanout, bc.shards, bc.window, bc.stalled, bc.credited
 		name := fmt.Sprintf("fanout=%d", fanout)
 		if shards > 1 {
 			// The sharded variant spreads the consumer's subscriptions
@@ -61,6 +62,15 @@ func BenchmarkNetworkPipeline(b *testing.B) {
 			// dead peer (CI asserts it stays within 1.5x of the healthy
 			// fanout=100 series).
 			name += "/stalled"
+		}
+		if credited {
+			// The credited variant runs the consumer's subscriptions under
+			// credit-based flow control with a window large enough that a
+			// healthy consumer never stalls; it measures the steady-state
+			// overhead of the credit fast path (one claim per delivery,
+			// batched ACK grants on release) against the uncredited
+			// fanout=100 series (CI asserts it stays within 1.15x).
+			name += "/credited"
 		}
 		b.Run(name, func(b *testing.B) {
 			policy := label.NewPolicy()
@@ -89,14 +99,15 @@ func BenchmarkNetworkPipeline(b *testing.B) {
 				defer conn.Close()
 			}
 
-			newEngine := func(busShards int) *engine.Engine {
+			newEngine := func(busShards, credit int) *engine.Engine {
 				e, err := engine.New(engine.Config{
 					Policy: policy,
 					Bus: func(principal string) (broker.Bus, error) {
 						cfg := broker.ClientConfig{
-							Login:   principal,
-							Shards:  busShards,
-							OnError: func(err error) { b.Logf("bus error: %v", err) },
+							Login:           principal,
+							Shards:          busShards,
+							SubscribeCredit: credit,
+							OnError:         func(err error) { b.Logf("bus error: %v", err) },
 						}
 						if window > 0 {
 							cfg.PublishWindow = window
@@ -112,9 +123,15 @@ func BenchmarkNetworkPipeline(b *testing.B) {
 				}
 				return e
 			}
-			producer := newEngine(1)
+			producer := newEngine(1, 0)
 			defer producer.Stop()
-			consumer := newEngine(shards)
+			consumerCredit := 0
+			if credited {
+				// Large enough that the engine queue, not the credit window,
+				// is the backpressure bound for a healthy consumer.
+				consumerCredit = 512
+			}
+			consumer := newEngine(shards, consumerCredit)
 			defer consumer.Stop()
 
 			payload := []byte(`{"patient_id": 33812769, "type": "cancer", "summary": "report"}`)

@@ -162,7 +162,7 @@ func TestDeliveryDropAccounted(t *testing.T) {
 	}
 	bad.Freeze()
 	ss := &serverSession{sess: &stomp.Session{}}
-	srv.deliver(ss, "sub-9", bad)
+	srv.deliver(ss, nil, "sub-9", bad)
 
 	select {
 	case d := <-drops:

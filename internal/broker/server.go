@@ -148,6 +148,16 @@ type ServerConfig struct {
 	// start of each consecutive-overflow run and every eviction. Runs on
 	// the delivering (publish) goroutine and must not block.
 	OnSlowConsumer func(ev SlowConsumerEvent)
+	// CreditPending is the per-subscription pending ring capacity for
+	// subscriptions that advertise a credit window: how many matched
+	// deliveries may park broker-side once the window is exhausted before
+	// the overflow policy takes over. Zero selects the default (32);
+	// negative values are rejected at construction.
+	CreditPending int
+	// OnCreditStall observes credited subscriptions whose delivery window
+	// ran dry: raised once per stall run, when the first delivery parks.
+	// Runs on the delivering (publish) goroutine and must not block.
+	OnCreditStall func(ev CreditStallEvent)
 }
 
 // ServerStats counts network-front activity not visible in the core
@@ -166,6 +176,15 @@ type ServerStats struct {
 	// QueueHighWater is the deepest per-session delivery-queue occupancy
 	// observed on any session, live or since departed.
 	QueueHighWater int
+	// CreditStalls counts stall runs on credited subscriptions: each time
+	// a subscription's delivery window ran dry and a matched delivery had
+	// to park in its pending ring.
+	CreditStalls uint64
+	// UnhandledFrames counts client frames the server rejected with an
+	// ERROR because it does not implement the command (NACK, transactions,
+	// unknown commands) or the frame was malformed for the one use the
+	// server has for it (ACK without a valid credit grant).
+	UnhandledFrames uint64
 }
 
 // SessionStats is a point-in-time snapshot of one live session's delivery
@@ -183,20 +202,28 @@ type SessionStats struct {
 	// OverflowDrops counts this session's deliveries suppressed by the
 	// overflow policy.
 	OverflowDrops uint64
+	// CreditStalls counts this session's credited-subscription stall runs;
+	// CreditParked is the current total of deliveries parked in this
+	// session's pending rings awaiting a credit grant.
+	CreditStalls uint64
+	CreditParked int
 }
 
 // Server exposes a Broker over STOMP. Logins name the policy principal of
 // the connection; SUBSCRIBE and SEND frames are translated to broker
 // operations with label semantics preserved.
 type Server struct {
-	broker     *Broker
-	stomp      *stomp.Server
-	cfg        ServerConfig
-	evictAfter uint32
+	broker        *Broker
+	stomp         *stomp.Server
+	cfg           ServerConfig
+	evictAfter    uint32
+	creditPending int
 
 	droppedDeliveries atomic.Uint64
 	overflowDrops     atomic.Uint64
 	slowEvictions     atomic.Uint64
+	creditStalls      atomic.Uint64
+	unhandledFrames   atomic.Uint64
 	// departedHighWater folds the queue high-water marks of closed
 	// sessions so Stats() keeps the all-time maximum.
 	departedHighWater atomic.Int64
@@ -208,8 +235,8 @@ type Server struct {
 type serverSession struct {
 	sess *stomp.Session
 	// subs maps the client-chosen subscription id to the broker
-	// subscription.
-	subs map[string]*Subscription
+	// subscription and its optional credit window.
+	subs map[string]*wireSub
 
 	// idPrefix is the session's message-id prefix ("m-<session>-");
 	// msgSeq numbers messages within it without touching the server lock.
@@ -219,10 +246,12 @@ type serverSession struct {
 	// overflowDrops counts deliveries to this session suppressed by the
 	// overflow policy; consecOverflows tracks the current run of
 	// overflowing deliveries for OverflowDisconnect; evicted latches the
-	// eviction so it fires exactly once.
+	// eviction so it fires exactly once; creditStalls counts stall runs on
+	// this session's credited subscriptions.
 	overflowDrops   atomic.Uint64
 	consecOverflows atomic.Uint32
 	evicted         atomic.Bool
+	creditStalls    atomic.Uint64
 
 	// decCache memoises label-header parses and the destination string
 	// for this session's inbound SENDs; OnFrameView runs on the session
@@ -247,11 +276,19 @@ func NewServer(addr string, b *Broker, cfg ServerConfig) (*Server, error) {
 	if evictAfter == 0 {
 		evictAfter = defaultOverflowEvictAfter
 	}
+	if cfg.CreditPending < 0 {
+		return nil, fmt.Errorf("broker: ServerConfig.CreditPending must not be negative, got %d", cfg.CreditPending)
+	}
+	creditPending := cfg.CreditPending
+	if creditPending == 0 {
+		creditPending = defaultCreditPending
+	}
 	srv := &Server{
-		broker:     b,
-		cfg:        cfg,
-		evictAfter: uint32(evictAfter),
-		sessions:   make(map[uint64]*serverSession),
+		broker:        b,
+		cfg:           cfg,
+		evictAfter:    uint32(evictAfter),
+		creditPending: creditPending,
+		sessions:      make(map[uint64]*serverSession),
 	}
 	scfg := stomp.ServerConfig{
 		Handler:       srv,
@@ -280,8 +317,12 @@ func (s *Server) Close() error { return s.stomp.Close() }
 
 // Stats returns a snapshot of network-front counters.
 func (s *Server) Stats() ServerStats {
-	hw := int(s.departedHighWater.Load())
+	// The departed fold must be read inside the same critical section that
+	// walks the live set: OnDisconnect removes a session and folds its
+	// mark under the same lock, so ordering the load before it could miss
+	// a session on both sides of the handoff.
 	s.mu.Lock()
+	hw := int(s.departedHighWater.Load())
 	for _, ss := range s.sessions {
 		if w := ss.sess.QueueHighWater(); w > hw {
 			hw = w
@@ -293,6 +334,8 @@ func (s *Server) Stats() ServerStats {
 		OverflowDrops:         s.overflowDrops.Load(),
 		SlowConsumerEvictions: s.slowEvictions.Load(),
 		QueueHighWater:        hw,
+		CreditStalls:          s.creditStalls.Load(),
+		UnhandledFrames:       s.unhandledFrames.Load(),
 	}
 }
 
@@ -302,6 +345,12 @@ func (s *Server) SessionStats() []SessionStats {
 	s.mu.Lock()
 	out := make([]SessionStats, 0, len(s.sessions))
 	for _, ss := range s.sessions {
+		parked := 0
+		for _, ws := range ss.subs {
+			if ws.credit != nil {
+				parked += int(ws.credit.parked.Load())
+			}
+		}
 		out = append(out, SessionStats{
 			ID:             ss.sess.ID(),
 			Login:          ss.sess.Login(),
@@ -310,6 +359,8 @@ func (s *Server) SessionStats() []SessionStats {
 			QueueCap:       ss.sess.QueueCap(),
 			QueueHighWater: ss.sess.QueueHighWater(),
 			OverflowDrops:  ss.overflowDrops.Load(),
+			CreditStalls:   ss.creditStalls.Load(),
+			CreditParked:   parked,
 		})
 	}
 	s.mu.Unlock()
@@ -323,7 +374,7 @@ func (s *Server) OnConnect(sess *stomp.Session, login string) error {
 	defer s.mu.Unlock()
 	s.sessions[sess.ID()] = &serverSession{
 		sess:     sess,
-		subs:     make(map[string]*Subscription),
+		subs:     make(map[string]*wireSub),
 		idPrefix: "m-" + strconv.FormatUint(sess.ID(), 10) + "-",
 	}
 	return nil
@@ -331,24 +382,29 @@ func (s *Server) OnConnect(sess *stomp.Session, login string) error {
 
 // OnDisconnect implements stomp.SessionHandler.
 func (s *Server) OnDisconnect(sess *stomp.Session) {
+	// Fold the departing session's high-water mark into the server-wide
+	// maximum inside the same critical section that removes it from the
+	// live set, so a concurrent Stats() snapshot can never observe the
+	// session as neither live nor folded and report a dip. The mark is
+	// read before the lock (it is final once the session's writer has
+	// stopped) and folded with a CAS-max, so a repeated fold is harmless.
+	hw := int64(sess.QueueHighWater())
 	s.mu.Lock()
 	ss := s.sessions[sess.ID()]
 	delete(s.sessions, sess.ID())
-	s.mu.Unlock()
-	if ss == nil {
-		return
-	}
-	// Fold the departing session's high-water mark into the server-wide
-	// maximum so Stats() stays monotonic across session churn.
-	hw := int64(sess.QueueHighWater())
 	for {
 		cur := s.departedHighWater.Load()
 		if hw <= cur || s.departedHighWater.CompareAndSwap(cur, hw) {
 			break
 		}
 	}
-	for _, sub := range ss.subs {
-		s.broker.Unsubscribe(sub)
+	s.mu.Unlock()
+	if ss == nil {
+		return
+	}
+	for id, ws := range ss.subs {
+		s.broker.Unsubscribe(ws.sub)
+		s.closeCredit(ss, id, ws)
 	}
 }
 
@@ -386,36 +442,95 @@ func (s *Server) OnFrameView(sess *stomp.Session, v *stomp.FrameView) error {
 		}
 		topic := v.Headers.Header(stomp.HdrDestination)
 		sel := v.Headers.Header(stomp.HdrSelector)
+		// An optional credit header arms a delivery window for the
+		// subscription; without it the wire behaviour is unchanged —
+		// infinite credit, no per-subscription state.
+		ws := &wireSub{}
+		if cr := v.Headers.Header(stomp.HdrCredit); cr != "" {
+			window, err := stomp.ParseCredit(cr)
+			if err != nil {
+				return err
+			}
+			ws.credit = newCreditState(window, s.creditPending)
+		}
 		// A wire subscription: delivery only serialises the event, so the
 		// broker hands over the frozen original — every session and shard
 		// then shares one event pointer and one wire image per publish.
+		// The delivery closure reads only ws.credit, set above, so the
+		// ws.sub assignment after SubscribeWire returns does not race with
+		// deliveries that fire during registration.
 		sub, err := s.broker.SubscribeWire(sess.Login(), topic, sel, func(ev *event.Event) {
-			s.deliver(ss, clientID, ev)
+			s.deliver(ss, ws, clientID, ev)
 		})
 		if err != nil {
 			return err
 		}
+		ws.sub = sub
 		s.mu.Lock()
-		ss.subs[clientID] = sub
+		ss.subs[clientID] = ws
 		s.mu.Unlock()
 		return nil
 
 	case stomp.CmdUnsubscribe:
 		clientID := v.Headers.Header(stomp.HdrID)
 		s.mu.Lock()
-		sub := ss.subs[clientID]
+		ws := ss.subs[clientID]
 		delete(ss.subs, clientID)
 		s.mu.Unlock()
-		s.broker.Unsubscribe(sub)
+		if ws == nil {
+			return nil
+		}
+		s.broker.Unsubscribe(ws.sub)
+		s.closeCredit(ss, clientID, ws)
 		return nil
 
-	case stomp.CmdAck, stomp.CmdNack, stomp.CmdBegin, stomp.CmdCommit, stomp.CmdAbort:
-		// Auto-ack, no transactions: accepted and ignored.
+	case stomp.CmdAck:
+		// The server runs auto-ack with no per-message acknowledgement;
+		// the one meaning ACK has is a credit replenishment grant.
+		cr := v.Headers.Header(stomp.HdrCredit)
+		if cr == "" {
+			return s.unhandledFrame("ACK without credit header (the server is auto-ack; ACK only carries credit grants)")
+		}
+		grant, err := stomp.ParseCredit(cr)
+		if err != nil {
+			// Fail closed: a malformed grant rejects the frame and never
+			// replenishes.
+			s.unhandledFrames.Add(1)
+			return err
+		}
+		subID := v.Headers.Header(stomp.HdrSubscription)
+		if subID == "" {
+			return s.unhandledFrame("ACK credit grant without subscription header")
+		}
+		s.mu.Lock()
+		ws := ss.subs[subID]
+		s.mu.Unlock()
+		if ws == nil {
+			// A grant racing UNSUBSCRIBE or teardown has nothing left to
+			// replenish; that is the normal end of a credited stream, not
+			// a protocol error.
+			return nil
+		}
+		if ws.credit == nil {
+			return s.unhandledFrame("ACK credit grant for subscription " + subID + ", which subscribed without a credit window")
+		}
+		s.creditGrant(ss, subID, ws, grant)
 		return nil
+
+	case stomp.CmdNack, stomp.CmdBegin, stomp.CmdCommit, stomp.CmdAbort:
+		return s.unhandledFrame("command " + v.Command + " is not supported (auto-ack, no transactions)")
 
 	default:
-		return fmt.Errorf("broker: unsupported command %s", v.Command)
+		return s.unhandledFrame("unknown command " + v.Command)
 	}
+}
+
+// unhandledFrame counts and rejects a client frame the server has no
+// handling for; the stomp layer answers with an ERROR frame carrying the
+// message, so the rejection names the command instead of vanishing.
+func (s *Server) unhandledFrame(msg string) error {
+	s.unhandledFrames.Add(1)
+	return errors.New("broker: unhandled frame: " + msg)
 }
 
 // deliver sends a matched event to a session as a MESSAGE frame. The
@@ -426,14 +541,27 @@ func (s *Server) OnFrameView(sess *stomp.Session, v *stomp.FrameView) error {
 // they exist only on the wire. The frames feed the session's coalescing
 // writer, so a fan-out burst costs one flush.
 //
-// This runs on the publishing goroutine, so the overflow policy decides
-// here whether a session whose delivery queue is full may block the
-// publisher (OverflowBlock) or must absorb the loss itself (the
-// non-blocking policies). Either way a matched delivery is never lost
-// silently: marshal and write failures are counted in DroppedDeliveries,
-// policy drops in OverflowDrops, and every one is reported through
-// OnDeliveryError.
-func (s *Server) deliver(ss *serverSession, clientSubID string, ev *event.Event) {
+// This runs on the publishing goroutine. A credited subscription first
+// claims credit on a lock-free fast path — one atomic load and one CAS —
+// and deliveries that cannot claim (window exhausted, or earlier
+// deliveries already parked) divert to the pending ring. Uncredited
+// subscriptions (ws nil or no credit header) skip the gate entirely.
+func (s *Server) deliver(ss *serverSession, ws *wireSub, clientSubID string, ev *event.Event) {
+	if ws != nil && ws.credit != nil && !ws.credit.tryClaim() {
+		s.parkDelivery(ss, ws, clientSubID, ev)
+		return
+	}
+	s.sendDelivery(ss, clientSubID, ev)
+}
+
+// sendDelivery puts one matched delivery on the session's wire; the
+// overflow policy decides here whether a session whose delivery queue is
+// full may block the publisher (OverflowBlock) or must absorb the loss
+// itself (the non-blocking policies). Either way a matched delivery is
+// never lost silently: marshal and write failures are counted in
+// DroppedDeliveries, policy drops in OverflowDrops, and every one is
+// reported through OnDeliveryError.
+func (s *Server) sendDelivery(ss *serverSession, clientSubID string, ev *event.Event) {
 	img, err := ev.WireImage()
 	if err != nil {
 		s.dropDelivery(ss, clientSubID, ev, err)

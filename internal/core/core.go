@@ -60,6 +60,12 @@ type Config struct {
 	// so a peer that stops reading fails its connection instead of
 	// wedging its writer; zero disables the deadline.
 	WriteTimeout time.Duration
+	// SubscribeCredit, with NetworkBroker, arms credit-based flow control
+	// on every unit's subscriptions: each SUBSCRIBE advertises a delivery
+	// window of that many messages, replenished automatically as the
+	// engine completes callbacks (see broker.ClientConfig.SubscribeCredit).
+	// Zero disables credit — the wire behaviour is unchanged.
+	SubscribeCredit int
 	// ReplicationInterval is the Intranet→DMZ push period; zero means
 	// 50ms.
 	ReplicationInterval time.Duration
@@ -129,8 +135,9 @@ func New(cfg Config) (*Middleware, error) {
 		m.BrokerServer = srv
 		busFactory = func(principal string) (broker.Bus, error) {
 			bcfg := broker.ClientConfig{
-				Login:   principal,
-				OnError: func(err error) { cfg.Logf("core: bus %s: %v", principal, err) },
+				Login:           principal,
+				SubscribeCredit: cfg.SubscribeCredit,
+				OnError:         func(err error) { cfg.Logf("core: bus %s: %v", principal, err) },
 			}
 			if cfg.PublishWindow > 0 {
 				bcfg.PublishWindow = cfg.PublishWindow

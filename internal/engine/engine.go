@@ -458,7 +458,10 @@ func (e *Engine) runCallback(ctx *Context, rt *unitRuntime, cb Callback, ev *eve
 			e.cfg.Logf("engine: unit %q callback error: %v", rt.name, err)
 		}
 	}
-	ev.Release() // recycle pooled delivery events; no-op on shared ones
+	// Recycle pooled delivery events; no-op on shared ones. This is the
+	// delivery-consumed point: a networked bus's credit replenishment
+	// (broker.ClientConfig.SubscribeCredit) rides it via NotifyRelease.
+	ev.Release()
 }
 
 // InitContext is the restricted capability surface available to a unit

@@ -99,6 +99,11 @@ type Event struct {
 	// Delivery copy or a networked UnmarshalViewDelivery event. Release
 	// recycles pooled events; on everything else it is a no-op.
 	pooled bool
+
+	// onRelease, when set on a pooled delivery event, runs exactly once
+	// when Release retires the event — the delivery-consumed signal the
+	// networked client's credit replenishment rides (NotifyRelease).
+	onRelease func()
 }
 
 // wireMemo is the once-computed result of building an event's wire image.
@@ -266,6 +271,13 @@ func (e *Event) Release() {
 	if e == nil || !e.pooled {
 		return
 	}
+	if fn := e.onRelease; fn != nil {
+		// The consumed notification fires exactly once, before the
+		// frozen-escapee check: an event that escapes recycling was still
+		// processed, so credit replenishment must still see it.
+		e.onRelease = nil
+		fn()
+	}
 	if e.frozen {
 		// The delivered event escaped its lifecycle: a callback
 		// re-published it through a direct broker handle, so it may now
@@ -287,6 +299,20 @@ func (e *Event) Release() {
 		clear(e.Attrs)
 	}
 	deliveryPool.Put(e)
+}
+
+// NotifyRelease arranges for fn to run exactly once when Release retires
+// this pooled delivery event — the moment the consumer has finished with
+// the delivery. The networked client uses it to count consumed deliveries
+// for credit replenishment without wrapping the handler. It is a no-op on
+// non-pooled events (which are never Released) and overwrites any earlier
+// notification; the caller must set it before handing the event to its
+// consumer.
+func (e *Event) NotifyRelease(fn func()) {
+	if e == nil || !e.pooled {
+		return
+	}
+	e.onRelease = fn
 }
 
 // Freeze marks the event as published: it memoises the sorted wire form

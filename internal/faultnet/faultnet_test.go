@@ -1,0 +1,143 @@
+package faultnet_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"safeweb/internal/faultnet"
+)
+
+// pair returns a wrapped/plain TCP connection pair over loopback. TCP
+// (rather than net.Pipe) so chunked writes and resets behave as they do
+// under the real broker.
+func pair(t *testing.T, plan faultnet.Plan) (*faultnet.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan accepted, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- accepted{c, err}
+	}()
+	fc, err := faultnet.Dial("tcp", ln.Addr().String(), plan)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	a := <-ch
+	if a.err != nil {
+		t.Fatalf("accept: %v", a.err)
+	}
+	t.Cleanup(func() { fc.Close(); a.c.Close() })
+	return fc, a.c
+}
+
+func TestChunkedWritesDeliverEverything(t *testing.T) {
+	fc, peer := pair(t, faultnet.Plan{WriteChunk: 3})
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	go func() {
+		if n, err := fc.Write(msg); err != nil || n != len(msg) {
+			t.Errorf("Write = %d, %v; want %d, nil", n, err, len(msg))
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(peer, got); err != nil {
+		t.Fatalf("ReadFull: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("got %q, want %q", got, msg)
+	}
+}
+
+func TestReadLatencyDelays(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	fc, peer := pair(t, faultnet.Plan{ReadLatency: lat})
+	if _, err := peer.Write([]byte("x")); err != nil {
+		t.Fatalf("peer write: %v", err)
+	}
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := fc.Read(buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if d := time.Since(start); d < lat {
+		t.Errorf("Read returned after %v, want >= %v", d, lat)
+	}
+}
+
+func TestStallBlocksUntilResume(t *testing.T) {
+	fc, peer := pair(t, faultnet.Plan{})
+	fc.Stall()
+	if _, err := peer.Write([]byte("y")); err != nil {
+		t.Fatalf("peer write: %v", err)
+	}
+	read := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := fc.Read(buf)
+		read <- err
+	}()
+	select {
+	case err := <-read:
+		t.Fatalf("Read returned (%v) while stalled", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	fc.Resume()
+	select {
+	case err := <-read:
+		if err != nil {
+			t.Fatalf("Read after Resume: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Read still blocked after Resume")
+	}
+}
+
+func TestCloseReleasesStalledOps(t *testing.T) {
+	fc, _ := pair(t, faultnet.Plan{})
+	fc.Stall()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errCh := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		_, err := fc.Write([]byte("z"))
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_ = fc.Close()
+	wg.Wait()
+	if err := <-errCh; !errors.Is(err, net.ErrClosed) {
+		t.Errorf("stalled Write released with %v, want net.ErrClosed", err)
+	}
+}
+
+func TestResetSeversMidStream(t *testing.T) {
+	fc, peer := pair(t, faultnet.Plan{})
+	if _, err := fc.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(peer, buf); err != nil {
+		t.Fatalf("peer read: %v", err)
+	}
+	if err := fc.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	// The peer must observe the connection failing, not hang.
+	_ = peer.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := peer.Read(buf); err == nil {
+		t.Error("peer read succeeded after Reset, want connection error")
+	}
+}

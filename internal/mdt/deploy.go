@@ -26,17 +26,20 @@ type DeployConfig struct {
 	// Faults enables the §5.2 injected vulnerabilities.
 	Faults Faults
 	// NetworkBroker, PublishWindow, Overflow, OverflowEvictAfter,
-	// WriteQueueLen, WriteTimeout, DisableTracking, AuthWork and
-	// OnRequest are passed through to core.Config. The overflow settings
-	// give the deployment's broker front slow-consumer protection:
-	// bounded per-session delivery queues with an explicit policy
-	// instead of unbounded blocking.
+	// WriteQueueLen, WriteTimeout, SubscribeCredit, DisableTracking,
+	// AuthWork and OnRequest are passed through to core.Config. The
+	// overflow settings give the deployment's broker front slow-consumer
+	// protection: bounded per-session delivery queues with an explicit
+	// policy instead of unbounded blocking; SubscribeCredit adds the
+	// proactive half — per-subscription delivery windows replenished as
+	// the engine completes callbacks.
 	NetworkBroker      bool
 	PublishWindow      int
 	Overflow           broker.OverflowPolicy
 	OverflowEvictAfter int
 	WriteQueueLen      int
 	WriteTimeout       time.Duration
+	SubscribeCredit    int
 	DisableTracking    bool
 	AuthWork           int
 	OnRequest          func(webfront.PhaseTimes)
@@ -74,6 +77,7 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 		OverflowEvictAfter: cfg.OverflowEvictAfter,
 		WriteQueueLen:      cfg.WriteQueueLen,
 		WriteTimeout:       cfg.WriteTimeout,
+		SubscribeCredit:    cfg.SubscribeCredit,
 		DisableTracking:    cfg.DisableTracking,
 		AuthWork:           cfg.AuthWork,
 		OnRequest:          cfg.OnRequest,

@@ -68,6 +68,19 @@
 // evicting a consumer that demonstrably stopped reading. Queue occupancy
 // highs are tracked per session (Session.QueueHighWater) as the
 // early-warning signal.
+//
+// # Credit-based flow control
+//
+// The queue disciplines above are reactive — they decide what to do once
+// a consumer's queue has already filled. The proactive half rides the
+// protocol itself: a SUBSCRIBE frame may advertise a delivery window in a
+// credit header, and the consumer replenishes it with ACK frames carrying
+// a cumulative grant (Client.SendCreditGrant). Grants are cumulative and
+// idempotent, so they batch — steady state is about two control frames
+// per window, not per message — and tolerate duplication or reordering.
+// See credit.go for the shared header name and the fail-closed parser;
+// the broker-side window accounting lives in package broker. A SUBSCRIBE
+// without the credit header is byte-identical to today's wire behaviour.
 package stomp
 
 import (

@@ -3,6 +3,7 @@ package stomp
 import (
 	"bufio"
 	"bytes"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -100,6 +101,38 @@ func FuzzHeaderEscape(f *testing.F) {
 		reback, err := unescapeHeaderBytes(canon)
 		if err != nil || reback != val {
 			t.Fatalf("canonical re-escape of %q broke: %q, %v", val, reback, err)
+		}
+	})
+}
+
+// FuzzParseCredit pins the fail-closed contract of the credit/ACK header
+// parser: arbitrary input must never panic, and only positive in-range
+// decimal int64 values may ever be accepted as a grant — negative, zero,
+// overflowing and non-numeric inputs must all be rejected, returning a
+// zero credit with an error.
+func FuzzParseCredit(f *testing.F) {
+	for _, seed := range []string{
+		"", "1", "0", "-1", "64", "credit", "1e3", " 1", "+1", "0x10",
+		"9223372036854775807", "9223372036854775808",
+		"-9223372036854775808", "99999999999999999999999999", "1\x00", "١",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := ParseCredit(s)
+		if err != nil {
+			if n != 0 {
+				t.Fatalf("ParseCredit(%q) = %d with error %v; a rejected grant must be zero", s, n, err)
+			}
+			return
+		}
+		if n <= 0 {
+			t.Fatalf("ParseCredit(%q) accepted non-positive credit %d", s, n)
+		}
+		// An accepted value must round-trip through its canonical form.
+		m, err := ParseCredit(strconv.FormatInt(n, 10))
+		if err != nil || m != n {
+			t.Fatalf("canonical re-parse of %d = %d, %v", n, m, err)
 		}
 	})
 }
