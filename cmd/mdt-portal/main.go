@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"safeweb/internal/broker"
@@ -39,6 +40,10 @@ func main() {
 		"per-flush write deadline for broker sessions (with -network-broker; 0 = unbounded)")
 	subscribeCredit := flag.Int("subscribe-credit", 0,
 		"per-subscription delivery window in messages, replenished as units complete callbacks (with -network-broker; 0 = no credit flow control)")
+	durable := flag.String("durable", "",
+		"comma-separated topic patterns the broker journals for replay and resume (with -network-broker; requires -journal-dir)")
+	journalDir := flag.String("journal-dir", "",
+		"directory for the durable topic journals (with -durable)")
 	importEvery := flag.Duration("import-every", 0, "periodic re-import interval (0 = import once)")
 	flag.Parse()
 
@@ -47,8 +52,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mdt-portal:", err)
 		os.Exit(2)
 	}
+	var durableTopics []string
+	if *durable != "" {
+		durableTopics = strings.Split(*durable, ",")
+	}
 	if err := run(*httpAddr, *patients, *seed, *password, *networkBroker, *publishWindow,
-		policy, *writeQueue, *writeTimeout, *subscribeCredit, *importEvery); err != nil {
+		policy, *writeQueue, *writeTimeout, *subscribeCredit, durableTopics, *journalDir,
+		*importEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "mdt-portal:", err)
 		os.Exit(1)
 	}
@@ -56,7 +66,7 @@ func main() {
 
 func run(httpAddr string, patients int, seed int64, password string, networkBroker bool, publishWindow int,
 	overflow broker.OverflowPolicy, writeQueue int, writeTimeout time.Duration, subscribeCredit int,
-	importEvery time.Duration) error {
+	durable []string, journalDir string, importEvery time.Duration) error {
 	d, err := mdt.Deploy(mdt.DeployConfig{
 		Registry:        maindb.Config{Seed: seed, Patients: patients},
 		Password:        password,
@@ -66,6 +76,8 @@ func run(httpAddr string, patients int, seed int64, password string, networkBrok
 		WriteQueueLen:   writeQueue,
 		WriteTimeout:    writeTimeout,
 		SubscribeCredit: subscribeCredit,
+		Durable:         durable,
+		JournalDir:      journalDir,
 		Logf:            log.Printf,
 	})
 	if err != nil {
@@ -114,6 +126,10 @@ func run(httpAddr string, patients int, seed int64, password string, networkBrok
 		log.Printf("broker front: %d deliveries dropped, %d overflow drops, %d slow-consumer evictions, queue high-water %d, %d credit stalls, %d unhandled frames",
 			bs.DroppedDeliveries, bs.OverflowDrops, bs.SlowConsumerEvictions, bs.QueueHighWater,
 			bs.CreditStalls, bs.UnhandledFrames)
+		if len(durable) > 0 {
+			log.Printf("durable topics: %d journal appends (%d failed), %d replay deliveries, %d filtered by clearance",
+				bs.DurableAppends, bs.DurableAppendErrors, bs.ReplayDeliveries, bs.ReplayFiltered)
+		}
 	}
 	return nil
 }

@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"safeweb/internal/broker"
@@ -43,6 +44,10 @@ func main() {
 		"per-flush write deadline for broker sessions (with -network-broker; 0 = unbounded)")
 	subscribeCredit := flag.Int("subscribe-credit", 0,
 		"per-subscription delivery window in messages, replenished as units complete callbacks (with -network-broker; 0 = no credit flow control)")
+	durable := flag.String("durable", "",
+		"comma-separated topic patterns the broker journals for replay and resume (with -network-broker; requires -journal-dir)")
+	journalDir := flag.String("journal-dir", "",
+		"directory for the durable topic journals (with -durable)")
 	flag.Parse()
 
 	policy, err := broker.ParseOverflowPolicy(*overflow)
@@ -50,15 +55,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mdtportal:", err)
 		os.Exit(2)
 	}
+	var durableTopics []string
+	if *durable != "" {
+		durableTopics = strings.Split(*durable, ",")
+	}
 	if err := run(*patients, *serve, *networkBroker, *publishWindow, policy,
-		*writeQueue, *writeTimeout, *subscribeCredit); err != nil {
+		*writeQueue, *writeTimeout, *subscribeCredit, durableTopics, *journalDir); err != nil {
 		fmt.Fprintln(os.Stderr, "mdtportal:", err)
 		os.Exit(1)
 	}
 }
 
 func run(patients int, serve bool, networkBroker bool, publishWindow int,
-	overflow broker.OverflowPolicy, writeQueue int, writeTimeout time.Duration, subscribeCredit int) error {
+	overflow broker.OverflowPolicy, writeQueue int, writeTimeout time.Duration, subscribeCredit int,
+	durable []string, journalDir string) error {
 	fmt.Printf("deploying MDT portal (%d patients, network broker: %v)\n", patients, networkBroker)
 	d, err := mdt.Deploy(mdt.DeployConfig{
 		Registry:      maindb.Config{Seed: 2026, Patients: patients},
@@ -76,6 +86,10 @@ func run(patients int, serve bool, networkBroker bool, publishWindow int,
 		WriteQueueLen:   writeQueue,
 		WriteTimeout:    writeTimeout,
 		SubscribeCredit: subscribeCredit,
+		// Durable topics journal the listed patterns to disk so consumers
+		// can replay and resume them with offset/group subscriptions.
+		Durable:    durable,
+		JournalDir: journalDir,
 	})
 	if err != nil {
 		return err

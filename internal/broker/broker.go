@@ -176,6 +176,7 @@ type Broker struct {
 	closed bool
 
 	routes atomic.Pointer[routeTable]
+	taps   atomic.Pointer[[]*tap]
 
 	published          atomic.Uint64
 	delivered          atomic.Uint64
@@ -284,6 +285,92 @@ func (b *Broker) subscribe(principal, topic, sel string, handler Handler, wire b
 	return sub, nil
 }
 
+// tap is a publish observer registered with SubscribeTap: a compiled
+// topic pattern and a handler invoked for every accepted publish the
+// pattern covers, before any subscriber delivery and with no clearance or
+// selector filtering.
+type tap struct {
+	id       uint64
+	matchAll bool
+	prefix   string
+	topic    string
+	fn       Handler
+}
+
+// SubscribeTap registers a publish tap: fn observes every accepted
+// publish whose topic the pattern covers (same pattern grammar as
+// Subscribe), bypassing both clearance and selectors. It exists for the
+// durable journal, which must record every event on a durable topic —
+// clearance is re-checked at replay time against the then-current policy,
+// so filtering at write time would silently erase history a later grant
+// should be able to read. Taps receive the frozen published event and, like
+// wire handlers, must never mutate it. The returned function removes the
+// tap; removing twice is a no-op.
+func (b *Broker) SubscribeTap(pattern string, fn Handler) (remove func(), err error) {
+	if fn == nil {
+		return nil, errors.New("broker: nil tap handler")
+	}
+	if pattern == "" {
+		return nil, errors.New("broker: empty tap pattern")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	b.nextID++
+	t := &tap{id: b.nextID, topic: pattern, fn: fn}
+	t.matchAll, t.prefix = classifyTopic(pattern)
+
+	old := b.taps.Load()
+	var taps []*tap
+	if old != nil {
+		taps = append(taps, *old...)
+	}
+	taps = append(taps, t)
+	b.taps.Store(&taps)
+
+	return func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		cur := b.taps.Load()
+		if cur == nil {
+			return
+		}
+		next := make([]*tap, 0, len(*cur))
+		for _, x := range *cur {
+			if x.id != t.id {
+				next = append(next, x)
+			}
+		}
+		b.taps.Store(&next)
+	}, nil
+}
+
+// runTaps invokes every tap matching the published topic. Called on the
+// publishing goroutine after Freeze, before subscriber delivery, so a
+// durable append is sequenced ahead of the fan-out that announces it.
+func (b *Broker) runTaps(ev *event.Event) {
+	tp := b.taps.Load()
+	if tp == nil {
+		return
+	}
+	for _, t := range *tp {
+		switch {
+		case t.matchAll:
+		case t.prefix != "":
+			if !strings.HasPrefix(ev.Topic, t.prefix) {
+				continue
+			}
+		default:
+			if t.topic != ev.Topic {
+				continue
+			}
+		}
+		t.fn(ev)
+	}
+}
+
 // Unsubscribe removes a subscription. Removing an already-removed
 // subscription is a no-op.
 func (b *Broker) Unsubscribe(sub *Subscription) {
@@ -377,6 +464,7 @@ func (b *Broker) Publish(principal string, ev *event.Event) error {
 
 	b.published.Add(1)
 	ev.Freeze()
+	b.runTaps(ev)
 	conf := ev.Labels.Confidentiality()
 	var gen uint64
 	if !conf.IsEmpty() {

@@ -75,6 +75,20 @@ type ClientConfig struct {
 	// start dropping. Zero disables credit: wire behaviour is unchanged.
 	SubscribeCredit int
 
+	// DurableGroup, when non-empty, makes every subscription this client
+	// creates a durable one: the SUBSCRIBE carries a group header, so the
+	// broker feeds the subscription from the topic's journal, resuming at
+	// the group's cumulative acked offset, and the client acks progress
+	// automatically as deliveries are released (cumulative, piggybacked on
+	// credit grants when SubscribeCredit is also set). Durable topics must
+	// be configured on the server (ServerConfig.Durable).
+	DurableGroup string
+	// DurableOffset, when non-empty, adds an explicit replay start to
+	// every subscription: "earliest", "next", or a decimal offset. It wins
+	// over the group's acked mark; with DurableGroup empty it creates
+	// anonymous durable subscriptions whose progress is not persisted.
+	DurableOffset string
+
 	// PublishShards spreads publishes across that many connections,
 	// mirroring Shards on the consumer side; 0 or 1 pins all publishes to
 	// one connection (the default). Each topic is pinned to one
@@ -287,6 +301,73 @@ func (t *creditTracker) done() {
 	}
 }
 
+// offsetTracker turns the delivery-release lifecycle of one durable
+// subscription into cumulative offset acks. Replayed deliveries arrive in
+// increasing offset order but may complete (Release) out of order under a
+// concurrent engine, and clearance filtering leaves gaps in the offset
+// sequence — so the tracker keeps the delivered offsets in arrival order
+// and advances the acked frontier only across the completed prefix:
+// acking offset n+1 states that every delivered record at or below n has
+// finished processing, which is exactly the journal's cumulative-ack
+// contract. Acks restate the frontier and apply max-wins broker-side, so
+// a duplicate or reordered frame is a no-op.
+type offsetTracker struct {
+	conn    *stomp.Client
+	credit  *creditTracker // non-nil: piggyback the credit grant on each ack
+	onError func(error)
+	// subID is captured from the first delivery's subscription header on
+	// the shard read goroutine, like creditTracker.subID.
+	subID string
+
+	mu      sync.Mutex
+	pending []int64 // delivered offsets in arrival order (increasing)
+	settled map[int64]bool
+	acked   int64
+}
+
+// delivered records one replayed delivery's offset, in arrival order.
+// Runs on the shard read goroutine before the handler sees the event.
+func (t *offsetTracker) delivered(off int64) {
+	t.mu.Lock()
+	t.pending = append(t.pending, off)
+	t.mu.Unlock()
+}
+
+// released marks one delivery completed and, when the completed prefix
+// advanced, sends the new cumulative frontier — piggybacking the credit
+// window's cumulative grant on the same ACK frame when credit flow
+// control is armed, so a durable credited consumer pays one control frame
+// where it would otherwise pay two.
+func (t *offsetTracker) released(off int64) {
+	t.mu.Lock()
+	if t.settled == nil {
+		t.settled = make(map[int64]bool)
+	}
+	t.settled[off] = true
+	frontier := t.acked
+	for len(t.pending) > 0 && t.settled[t.pending[0]] {
+		delete(t.settled, t.pending[0])
+		frontier = t.pending[0] + 1
+		t.pending = t.pending[1:]
+	}
+	if frontier <= t.acked {
+		t.mu.Unlock()
+		return
+	}
+	t.acked = frontier
+	subID := t.subID
+	t.mu.Unlock()
+
+	var grant int64
+	if t.credit != nil {
+		grant = t.credit.granted.Load()
+	}
+	err := t.conn.SendOffsetAck(subID, frontier, grant)
+	if err != nil && !errors.Is(err, net.ErrClosed) && t.onError != nil {
+		t.onError(fmt.Errorf("broker: offset ack for %s: %w", subID, err))
+	}
+}
+
 // shardSub records where a subscription lives so Unsubscribe can route to
 // the right connection.
 type shardSub struct {
@@ -466,11 +547,41 @@ func (c *Client) Subscribe(topic, sel string, handler Handler) (string, error) {
 		tr.doneFn = tr.done
 		extra = map[string]string{stomp.HdrCredit: strconv.Itoa(c.cfg.SubscribeCredit)}
 	}
+	var ot *offsetTracker
+	if c.cfg.DurableGroup != "" || c.cfg.DurableOffset != "" {
+		ot = &offsetTracker{conn: sh.conn, credit: tr, onError: c.cfg.OnError}
+		if extra == nil {
+			extra = make(map[string]string, 2)
+		}
+		if c.cfg.DurableGroup != "" {
+			extra[stomp.HdrGroup] = c.cfg.DurableGroup
+		}
+		if c.cfg.DurableOffset != "" {
+			extra[stomp.HdrOffset] = c.cfg.DurableOffset
+		}
+	}
 	raw, err := sh.conn.SubscribeView(topic, sel, extra, func(v *stomp.FrameView) {
 		if tr != nil && tr.subID == "" {
 			// First delivery: the wire subscription id (which deliveries can
 			// carry before SubscribeView even returns) names the grants.
 			tr.subID = v.Headers.Header(stomp.HdrSubscription)
+		}
+		// A replayed delivery carries its journal offset; record it now so
+		// the ack frontier tracks arrival order, and ack it when the
+		// delivery is released (or immediately, if it cannot be decoded —
+		// an undecodable frame must not stall the frontier forever).
+		var off int64
+		hasOff := false
+		if ot != nil {
+			if ot.subID == "" {
+				ot.subID = v.Headers.Header(stomp.HdrSubscription)
+			}
+			if s := v.Headers.Header(stomp.HdrDeliveryOffset); s != "" {
+				if n, perr := strconv.ParseInt(s, 10, 64); perr == nil {
+					off, hasOff = n, true
+					ot.delivered(n)
+				}
+			}
 		}
 		// Delivery unmarshal: the event comes from the delivery pool and
 		// is recycled (Event.Release) when its consumer — the engine's
@@ -483,12 +594,20 @@ func (c *Client) Subscribe(topic, sel string, handler Handler) (string, error) {
 				// frame still consumes it, or the window would leak shut.
 				tr.doneFn()
 			}
+			if hasOff {
+				ot.released(off)
+			}
 			if c.cfg.OnError != nil {
 				c.cfg.OnError(err)
 			}
 			return
 		}
-		if tr != nil {
+		switch {
+		case hasOff && tr != nil:
+			ev.NotifyRelease(func() { ot.released(off); tr.doneFn() })
+		case hasOff:
+			ev.NotifyRelease(func() { ot.released(off) })
+		case tr != nil:
 			ev.NotifyRelease(tr.doneFn)
 		}
 		handler(ev)

@@ -53,10 +53,13 @@ type CreditStallEvent struct {
 
 // wireSub pairs a broker subscription with its optional credit window.
 // credit is nil for subscriptions that advertised no window — infinite
-// credit, the pre-credit wire behaviour.
+// credit, the pre-credit wire behaviour. Durable subscriptions have no
+// broker registration (sub is nil) and a replay feed instead: their
+// deliveries come from the journal tail, paced by the same credit window.
 type wireSub struct {
 	sub    *Subscription
 	credit *creditState
+	replay *replayFeed
 }
 
 // creditState is one wire subscription's flow-control window.
@@ -108,6 +111,28 @@ func (c *creditState) tryClaim() bool {
 		return false
 	}
 	return c.claim()
+}
+
+// waitClaim claims one credit, blocking until the window has room or the
+// subscription is torn down (closed: returns false). It is the replay
+// feed's pacing gate: the feed is its own delivery source, so instead of
+// parking events in the pending ring it simply waits — a grant's
+// Broadcast or closeCredit wakes it.
+func (c *creditState) waitClaim() bool {
+	if c.tryClaim() {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return false
+		}
+		if c.claim() {
+			return true
+		}
+		c.space.Wait()
+	}
 }
 
 // claim CASes one credit out of the window, returning false when none
@@ -222,6 +247,10 @@ func (s *Server) creditGrant(ss *serverSession, clientSubID string, ws *wireSub,
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Wake waiters blocked on the window itself (replay feeds in
+	// waitClaim) even when nothing is parked — the ring drain below only
+	// broadcasts per popped slot.
+	c.space.Broadcast()
 	for c.n > 0 && !c.closed {
 		if !c.claim() {
 			return

@@ -546,9 +546,9 @@ func TestDepartedSessionStatsFold(t *testing.T) {
 	br := broker.New(label.NewPolicy())
 	defer br.Close()
 	srv, err := broker.NewServer("127.0.0.1:0", br, broker.ServerConfig{
-		Logf:          t.Logf,
-		Overflow:      broker.OverflowDropNewest,
-		WriteQueueLen: queueLen,
+		Logf:            t.Logf,
+		Overflow:        broker.OverflowDropNewest,
+		WriteQueueLen:   queueLen,
 		OnDeliveryError: func(uint64, string, *event.Event, error) {},
 	})
 	if err != nil {

@@ -1,0 +1,348 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"safeweb/internal/event"
+	"safeweb/internal/journal"
+	"safeweb/internal/label"
+	"safeweb/internal/stomp"
+)
+
+// Durable topics: selected topic patterns (ServerConfig.Durable) are
+// backed by per-topic append-only journals (package journal). The pieces:
+//
+//   - Append rides a broker publish tap (Broker.SubscribeTap), which sees
+//     every accepted publish on a durable topic with no clearance or
+//     selector filtering — the journal is the audit trail, so it must
+//     record everything; clearance is re-enforced per consumer at replay
+//     time against the then-current policy. The record payload is the
+//     event's already-encoded wire image (Event.WireImage), so appending
+//     costs zero re-marshal on the publish path.
+//
+//   - A SUBSCRIBE carrying an offset or group header becomes a durable
+//     subscription: instead of registering with the live fan-out, a
+//     replay feed goroutine tails the topic's journal from the resolved
+//     start offset — the group's acked offset, or the explicit offset
+//     header ("earliest", "next", or an absolute offset, which wins over
+//     the group's mark. New publishes reach the consumer through the
+//     journal tail, ordered and gap-free, so a resumed consumer can never
+//     see an event twice from two delivery paths.
+//
+//   - Each replayed MESSAGE carries its journal offset in the reserved
+//     delivery-offset header; the consumer acks cumulative progress on
+//     the ACK frame (offset header), optionally alongside a credit grant.
+//     Acks persist via the journal's max-wins ack log, so redelivery
+//     after a crash or resubscribe is exactly the unacked suffix —
+//     at-least-once delivery with idempotent acks.
+//
+//   - Replay paces itself with the subscription's credit window when one
+//     was advertised (creditState.waitClaim), and otherwise with the
+//     session write queue's own back-pressure; a replay feed can never
+//     flood a consumer that asked for flow control.
+
+// journalStore opens and caches one Journal per durable topic. Topics
+// map to directories by URL path-escaping, which is stable, readable for
+// the common "/a/b" shape, and collision-free.
+type journalStore struct {
+	dir  string
+	opts journal.Options
+
+	mu sync.Mutex
+	m  map[string]*journal.Journal
+}
+
+func newJournalStore(dir string, opts journal.Options) *journalStore {
+	return &journalStore{dir: dir, opts: opts, m: make(map[string]*journal.Journal)}
+}
+
+// rescan opens every journal already present under the store directory,
+// so restart-time recovery (torn-tail truncation, ack-table rebuild)
+// happens eagerly at server construction — a corrupt log fails the server
+// fast instead of the first subscriber — and replay of topics no longer
+// configured durable keeps working.
+func (st *journalStore) rescan() error {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("broker: journal dir: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		topic, err := url.PathUnescape(e.Name())
+		if err != nil {
+			return fmt.Errorf("broker: journal dir entry %q: %w", e.Name(), err)
+		}
+		if _, err := st.open(topic); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// open returns the topic's journal, opening (and recovering) it on first
+// use.
+func (st *journalStore) open(topic string) (*journal.Journal, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j := st.m[topic]; j != nil {
+		return j, nil
+	}
+	j, err := journal.Open(filepath.Join(st.dir, url.PathEscape(topic)), st.opts)
+	if err != nil {
+		return nil, err
+	}
+	st.m[topic] = j
+	return j, nil
+}
+
+// has reports whether the store already holds a journal for topic.
+func (st *journalStore) has(topic string) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.m[topic] != nil
+}
+
+func (st *journalStore) closeAll() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var err error
+	for _, j := range st.m {
+		if cerr := j.Close(); err == nil {
+			err = cerr
+		}
+	}
+	st.m = make(map[string]*journal.Journal)
+	return err
+}
+
+// journalAppend is the publish-tap handler recording one accepted publish
+// on a durable topic. It runs on the publishing goroutine after Freeze,
+// before fan-out, so the journal's order is the publish order. The record
+// reuses the event's memoised wire image — the same bytes fan-out puts on
+// the wire — and the label header Freeze memoised, so the append
+// serialises nothing.
+func (s *Server) journalAppend(ev *event.Event) {
+	img, err := ev.WireImage()
+	if err != nil {
+		s.durableAppendErrors.Add(1)
+		s.cfg.Logf("broker: durable append for %s: %v", ev.Topic, err)
+		return
+	}
+	j, err := s.journals.open(ev.Topic)
+	if err != nil {
+		s.durableAppendErrors.Add(1)
+		s.cfg.Logf("broker: durable append for %s: %v", ev.Topic, err)
+		return
+	}
+	rec := journal.Record{
+		Time:   time.Now().UnixNano(),
+		Topic:  ev.Topic,
+		Labels: ev.LabelHeader(),
+		Split:  img.Split(),
+		Image:  img.Bytes(),
+	}
+	if _, err := j.Append(&rec); err != nil {
+		s.durableAppendErrors.Add(1)
+		s.cfg.Logf("broker: durable append for %s: %v", ev.Topic, err)
+		return
+	}
+	s.durableAppends.Add(1)
+}
+
+// isDurableTopic reports whether the topic is journal-backed: covered by
+// a configured Durable pattern, or already holding a journal from an
+// earlier configuration (replay of old logs keeps working after a topic
+// is removed from the durable set).
+func (s *Server) isDurableTopic(topic string) bool {
+	for _, pat := range s.cfg.Durable {
+		if TopicMatches(pat, topic) {
+			return true
+		}
+	}
+	return s.journals != nil && s.journals.has(topic)
+}
+
+// replayFeed is the per-durable-subscription tailing goroutine's handle:
+// the journal it reads, the consumer group whose acks it applies, and the
+// stop signal teardown closes.
+type replayFeed struct {
+	j        *journal.Journal
+	group    string
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+func (f *replayFeed) stop() {
+	f.stopOnce.Do(func() { close(f.done) })
+}
+
+// subscribeDurable handles a SUBSCRIBE carrying an offset or group
+// header. The subscription is journal-only: no live broker registration,
+// so the consumer has exactly one delivery path (the journal tail) and
+// resumed replay can never race a live delivery into a duplicate.
+func (s *Server) subscribeDurable(ss *serverSession, clientID, topic, sel, creditHdr, offStr, group string) error {
+	if s.journals == nil {
+		return errors.New("broker: durable subscription on a server with no journal directory configured")
+	}
+	if sel != "" {
+		return errors.New("broker: durable subscriptions do not support selectors")
+	}
+	if matchAll, prefix := classifyTopic(topic); matchAll || prefix != "" {
+		return fmt.Errorf("broker: durable subscription needs an exact topic, not pattern %q", topic)
+	}
+	if !s.isDurableTopic(topic) {
+		return fmt.Errorf("broker: destination %q is not a durable topic", topic)
+	}
+	j, err := s.journals.open(topic)
+	if err != nil {
+		return err
+	}
+
+	// The explicit offset header wins over the group's acked mark, so an
+	// operator can rewind or skip a group; a plain group resume starts at
+	// exactly the first unacked record.
+	var start int64
+	if offStr != "" {
+		spec, err := stomp.ParseOffsetSpec(offStr)
+		if err != nil {
+			return err
+		}
+		switch {
+		case spec.Earliest:
+			start = 0
+		case spec.Next:
+			start = j.NextOffset()
+		default:
+			start = spec.At
+		}
+	} else {
+		start = j.Acked(group)
+	}
+
+	ws := &wireSub{replay: &replayFeed{j: j, group: group, done: make(chan struct{})}}
+	if creditHdr != "" {
+		window, err := stomp.ParseCredit(creditHdr)
+		if err != nil {
+			return err
+		}
+		ws.credit = newCreditState(window, s.creditPending)
+	}
+	s.mu.Lock()
+	ss.subs[clientID] = ws
+	s.mu.Unlock()
+	go s.runReplay(ss, ws, clientID, start)
+	return nil
+}
+
+// runReplay tails the journal from start, delivering each readable record
+// to the consumer and then blocking on the append signal for more — the
+// durable subscription's delivery loop. Clearance is enforced here, per
+// record, against the policy generation current at read time: the
+// persisted label header is re-parsed (memoised while consecutive records
+// share it) and a record the consumer no longer has clearance for is
+// skipped and counted, never delivered — so revoking a privilege after an
+// event was written is honoured on every later replay, fail closed (an
+// unparsable persisted header is treated as undeliverable, not as
+// unlabelled).
+func (s *Server) runReplay(ss *serverSession, ws *wireSub, clientSubID string, start int64) {
+	f := ws.replay
+	login := ss.sess.Login()
+	next := start
+
+	// Consecutive records of one topic usually share their label header;
+	// memoise the parse, and the clearance snapshot against the policy
+	// generation (same discipline as live delivery's cached clearance).
+	var lastHdr string
+	var lastConf label.Set
+	var lastHdrOK bool
+	var privs *label.Privileges
+	var privsGen uint64
+
+	var rec journal.Record
+	for {
+		// Grab the signal before reading the bound: an append between the
+		// two closes this channel, so the wait below cannot miss it.
+		sig := f.j.AppendSignal()
+		end := f.j.NextOffset()
+		for next < end {
+			select {
+			case <-f.done:
+				return
+			default:
+			}
+			if err := f.j.Read(next, &rec); err != nil {
+				s.dropDelivery(ss, clientSubID, nil, err)
+				return
+			}
+			if rec.Labels != "" {
+				if rec.Labels != lastHdr {
+					set, err := label.ParseSet(rec.Labels)
+					lastHdr = rec.Labels
+					lastHdrOK = err == nil
+					lastConf = set.Confidentiality()
+					if err != nil {
+						s.cfg.Logf("broker: replay %s offset %d: bad label header: %v", rec.Topic, next, err)
+					}
+				}
+				if !lastHdrOK {
+					// Fail closed: an unreadable label header means the
+					// record's protection is unknown, so nobody gets it.
+					s.replayFiltered.Add(1)
+					next++
+					continue
+				}
+				if !lastConf.IsEmpty() {
+					if gen := s.broker.Policy().Generation(); privs == nil || privsGen != gen {
+						privs, privsGen = s.broker.Policy().PrivilegesOf(login), gen
+					}
+					if !privs.HasAll(label.Clearance, lastConf) {
+						s.replayFiltered.Add(1)
+						next++
+						continue
+					}
+				}
+			}
+			// Pace with the consumer's credit window, when it advertised
+			// one; waitClaim returns false only at teardown.
+			if ws.credit != nil && !ws.credit.waitClaim() {
+				return
+			}
+			img := stomp.RawMessageImage(rec.Image, rec.Split)
+			seq := ss.msgSeq.Add(1)
+			if err := ss.sess.SendMessageImageOffset(img, clientSubID, ss.idPrefix, seq, next); err != nil {
+				s.dropDelivery(ss, clientSubID, nil, err)
+				return
+			}
+			s.replayDeliveries.Add(1)
+			next++
+		}
+		select {
+		case <-f.done:
+			return
+		case <-sig:
+		}
+	}
+}
+
+// replayAck applies a consumer's cumulative offset ack. Anonymous durable
+// subscriptions (no group header) have no persistent identity to record
+// progress for, so their acks are benign no-ops; grouped acks persist
+// through the journal's max-wins ack log.
+func (s *Server) replayAck(ws *wireSub, offset int64) error {
+	f := ws.replay
+	if f.group == "" {
+		return nil
+	}
+	return f.j.Ack(f.group, offset)
+}

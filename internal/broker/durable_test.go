@@ -1,0 +1,572 @@
+package broker
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"safeweb/internal/event"
+	"safeweb/internal/label"
+	"safeweb/internal/stomp"
+)
+
+// startDurableBroker runs a broker whose server journals the given topic
+// patterns under dir.
+func startDurableBroker(t *testing.T, p *label.Policy, dir string, topics ...string) (*Broker, *Server) {
+	t.Helper()
+	b := New(p)
+	srv, err := NewServer("127.0.0.1:0", b, ServerConfig{
+		Logf:       t.Logf,
+		Durable:    topics,
+		JournalDir: dir,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		b.Close()
+	})
+	return b, srv
+}
+
+// dialDurable connects a client whose subscriptions are durable.
+func dialDurable(t *testing.T, addr, login, group, offset string, credit int) *Client {
+	t.Helper()
+	c, err := DialBus(addr, ClientConfig{
+		Login:           login,
+		SendTimeout:     5 * time.Second,
+		OnError:         func(err error) { t.Logf("bus error (%s): %v", login, err) },
+		SubscribeCredit: credit,
+		DurableGroup:    group,
+		DurableOffset:   offset,
+	})
+	if err != nil {
+		t.Fatalf("DialBus(%s): %v", login, err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// seqCollector gathers the numeric seq attribute of each delivery in
+// arrival order; release decides per event whether to complete it (and
+// thereby advance the client's cumulative offset ack).
+func seqCollector(t *testing.T, release func(seq int) bool) (Handler, func() []int) {
+	var mu sync.Mutex
+	var got []int
+	h := func(ev *event.Event) {
+		n, err := strconv.Atoi(ev.Attr("seq"))
+		if err != nil {
+			t.Errorf("delivery without numeric seq: %v", err)
+			return
+		}
+		mu.Lock()
+		got = append(got, n)
+		mu.Unlock()
+		if release(n) {
+			ev.Release()
+		}
+	}
+	return h, func() []int {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]int(nil), got...)
+	}
+}
+
+func publishDurableSeq(t *testing.T, pub *Client, topic string, seq int) {
+	t.Helper()
+	ev := event.New(topic, map[string]string{"seq": strconv.Itoa(seq)})
+	ev.Body = []byte("payload-" + strconv.Itoa(seq))
+	if err := pub.Publish(ev); err != nil {
+		t.Fatalf("Publish seq %d: %v", seq, err)
+	}
+}
+
+func sameSeqs(got, want []int) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDurableBacklogAndLiveTail is the happy path end to end: publishes
+// on a durable topic are journaled, a later group subscription replays
+// the backlog in order and keeps receiving live publishes through the
+// journal tail, and releases drive cumulative persisted acks.
+func TestDurableBacklogAndLiveTail(t *testing.T) {
+	const topic = "/d/t"
+	dir := t.TempDir()
+	_, srv := startDurableBroker(t, testPolicy(), dir, topic)
+
+	producer := dialBus(t, srv.Addr(), "producer")
+	for seq := 0; seq < 3; seq++ {
+		publishDurableSeq(t, producer, topic, seq)
+	}
+	waitFor(t, "journal appends", func() bool {
+		return srv.Stats().DurableAppends == 3
+	})
+
+	consumer := dialDurable(t, srv.Addr(), "consumer", "g1", "", 2)
+	h, seqs := seqCollector(t, func(int) bool { return true })
+	if _, err := consumer.Subscribe(topic, "", h); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	waitFor(t, "backlog replay", func() bool { return len(seqs()) == 3 })
+
+	for seq := 3; seq < 5; seq++ {
+		publishDurableSeq(t, producer, topic, seq)
+	}
+	waitFor(t, "live tail", func() bool { return len(seqs()) == 5 })
+	if got := seqs(); !sameSeqs(got, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("delivery order = %v, want [0 1 2 3 4]", got)
+	}
+
+	// Every delivery was released, so the group's persisted cumulative
+	// ack converges on the journal bound.
+	j, err := srv.journals.open(topic)
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	waitFor(t, "cumulative ack", func() bool { return j.Acked("g1") == 5 })
+	if got := srv.Stats().ReplayDeliveries; got != 5 {
+		t.Errorf("ReplayDeliveries = %d, want 5", got)
+	}
+	if got := srv.Stats().UnhandledFrames; got != 0 {
+		t.Errorf("UnhandledFrames = %d, want 0 (offset acks must be handled)", got)
+	}
+}
+
+// TestDurableResumeAfterDisconnect pins the acceptance contract: a
+// consumer that acked part of the stream and disconnected resumes with
+// its group and receives exactly the unacked suffix, exactly once.
+func TestDurableResumeAfterDisconnect(t *testing.T) {
+	const topic = "/d/resume"
+	dir := t.TempDir()
+	_, srv := startDurableBroker(t, testPolicy(), dir, topic)
+
+	producer := dialBus(t, srv.Addr(), "producer")
+	for seq := 0; seq < 6; seq++ {
+		publishDurableSeq(t, producer, topic, seq)
+	}
+	waitFor(t, "journal appends", func() bool {
+		return srv.Stats().DurableAppends == 6
+	})
+	j, err := srv.journals.open(topic)
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+
+	// First incarnation: receive everything, complete (Release) only the
+	// first three — the client acks the completed prefix cumulatively.
+	first, err := DialBus(srv.Addr(), ClientConfig{
+		Login:        "consumer",
+		DurableGroup: "g",
+		OnError:      func(err error) { t.Logf("first consumer: %v", err) },
+	})
+	if err != nil {
+		t.Fatalf("DialBus: %v", err)
+	}
+	h1, seqs1 := seqCollector(t, func(seq int) bool { return seq < 3 })
+	if _, err := first.Subscribe(topic, "", h1); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	waitFor(t, "first replay", func() bool { return len(seqs1()) == 6 })
+	waitFor(t, "partial ack persisted", func() bool { return j.Acked("g") == 3 })
+	if err := first.Close(); err != nil {
+		t.Logf("first close: %v", err)
+	}
+
+	// Second incarnation resumes at the group's acked mark.
+	second := dialDurable(t, srv.Addr(), "consumer", "g", "", 0)
+	h2, seqs2 := seqCollector(t, func(int) bool { return true })
+	if _, err := second.Subscribe(topic, "", h2); err != nil {
+		t.Fatalf("resubscribe: %v", err)
+	}
+	waitFor(t, "resumed replay", func() bool { return len(seqs2()) == 3 })
+	time.Sleep(100 * time.Millisecond) // no extra deliveries trickle in
+	if got := seqs2(); !sameSeqs(got, []int{3, 4, 5}) {
+		t.Fatalf("resumed deliveries = %v, want exactly the unacked suffix [3 4 5]", got)
+	}
+	waitFor(t, "resumed ack", func() bool { return j.Acked("g") == 6 })
+}
+
+// TestDurableReplayClearanceRevoked pins the security contract: replay
+// enforces clearance at read time against the current policy, so a
+// privilege revoked after an event was journaled keeps the event from
+// every later replay.
+func TestDurableReplayClearanceRevoked(t *testing.T) {
+	const topic = "/d/sec"
+	dir := t.TempDir()
+	p := testPolicy()
+	_, srv := startDurableBroker(t, p, dir, topic)
+
+	producer := dialBus(t, srv.Addr(), "producer")
+	secret := event.New(topic, map[string]string{"seq": "0"},
+		label.Conf("ecric.org.uk/mdt/7"))
+	if err := producer.Publish(secret); err != nil {
+		t.Fatalf("Publish labelled: %v", err)
+	}
+	publishDurableSeq(t, producer, topic, 1)
+	waitFor(t, "journal appends", func() bool {
+		return srv.Stats().DurableAppends == 2
+	})
+
+	// While the clearance stands, replay delivers both records.
+	before := dialDurable(t, srv.Addr(), "cleared", "", "earliest", 0)
+	hb, seqsBefore := seqCollector(t, func(int) bool { return true })
+	if _, err := before.Subscribe(topic, "", hb); err != nil {
+		t.Fatalf("Subscribe before revoke: %v", err)
+	}
+	waitFor(t, "cleared replay", func() bool { return len(seqsBefore()) == 2 })
+	if got := srv.Stats().ReplayFiltered; got != 0 {
+		t.Fatalf("ReplayFiltered before revoke = %d, want 0", got)
+	}
+
+	// Revoke, then replay again from the same journal: the labelled
+	// record is filtered at read time, never delivered.
+	if !p.Revoke("cleared", label.Clearance, label.MustParsePattern("label:conf:ecric.org.uk/mdt/7")) {
+		t.Fatal("Revoke did not find the grant")
+	}
+	after := dialDurable(t, srv.Addr(), "cleared", "", "earliest", 0)
+	ha, seqsAfter := seqCollector(t, func(int) bool { return true })
+	if _, err := after.Subscribe(topic, "", ha); err != nil {
+		t.Fatalf("Subscribe after revoke: %v", err)
+	}
+	waitFor(t, "filtered replay", func() bool { return len(seqsAfter()) == 1 })
+	time.Sleep(100 * time.Millisecond)
+	if got := seqsAfter(); !sameSeqs(got, []int{1}) {
+		t.Fatalf("post-revoke deliveries = %v, want only the unlabelled [1]", got)
+	}
+	waitFor(t, "filter counted", func() bool { return srv.Stats().ReplayFiltered == 1 })
+}
+
+// TestDurableReplayAcrossRestartZeroRemarshal restarts the server on an
+// existing journal directory and replays it: recovery feeds the consumer
+// the persisted wire-image bytes directly — the replay window builds no
+// new wire images (event.WireImageBuilds is flat) — and the payloads
+// survive byte-intact.
+func TestDurableReplayAcrossRestartZeroRemarshal(t *testing.T) {
+	const topic = "/d/restart"
+	dir := t.TempDir()
+
+	b1 := New(testPolicy())
+	srv1, err := NewServer("127.0.0.1:0", b1, ServerConfig{
+		Logf: t.Logf, Durable: []string{topic}, JournalDir: dir,
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	producer, err := DialBus(srv1.Addr(), ClientConfig{Login: "producer", SendTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatalf("DialBus: %v", err)
+	}
+	for seq := 0; seq < 4; seq++ {
+		publishDurableSeq(t, producer, topic, seq)
+	}
+	waitFor(t, "journal appends", func() bool {
+		return srv1.Stats().DurableAppends == 4
+	})
+	if err := producer.Close(); err != nil {
+		t.Logf("producer close: %v", err)
+	}
+	if err := srv1.Close(); err != nil {
+		t.Fatalf("first server close: %v", err)
+	}
+	b1.Close()
+
+	_, srv2 := startDurableBroker(t, testPolicy(), dir, topic)
+	consumer := dialDurable(t, srv2.Addr(), "consumer", "", "earliest", 0)
+
+	var mu sync.Mutex
+	bodies := map[int]string{}
+	builds0 := event.WireImageBuilds()
+	if _, err := consumer.Subscribe(topic, "", func(ev *event.Event) {
+		n, _ := strconv.Atoi(ev.Attr("seq"))
+		mu.Lock()
+		bodies[n] = string(ev.Body)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	waitFor(t, "replay after restart", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(bodies) == 4
+	})
+	if builds := event.WireImageBuilds() - builds0; builds != 0 {
+		t.Errorf("replay built %d wire images, want 0 (served from persisted bytes)", builds)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for seq := 0; seq < 4; seq++ {
+		if got, want := bodies[seq], "payload-"+strconv.Itoa(seq); got != want {
+			t.Errorf("replayed body[%d] = %q, want %q", seq, got, want)
+		}
+	}
+}
+
+// TestDurableOffsetSpecs covers the three explicit replay starts:
+// earliest rewinds to the log head, an absolute offset starts there, and
+// next skips the backlog entirely, delivering only later publishes.
+func TestDurableOffsetSpecs(t *testing.T) {
+	const topic = "/d/off"
+	dir := t.TempDir()
+	_, srv := startDurableBroker(t, testPolicy(), dir, topic)
+
+	producer := dialBus(t, srv.Addr(), "producer")
+	for seq := 0; seq < 4; seq++ {
+		publishDurableSeq(t, producer, topic, seq)
+	}
+	waitFor(t, "journal appends", func() bool {
+		return srv.Stats().DurableAppends == 4
+	})
+
+	subscribe := func(offset string) func() []int {
+		c := dialDurable(t, srv.Addr(), "consumer", "", offset, 0)
+		h, seqs := seqCollector(t, func(int) bool { return true })
+		if _, err := c.Subscribe(topic, "", h); err != nil {
+			t.Fatalf("Subscribe offset=%s: %v", offset, err)
+		}
+		return seqs
+	}
+	earliest := subscribe("earliest")
+	at2 := subscribe("2")
+	next := subscribe("next")
+
+	waitFor(t, "earliest backlog", func() bool { return len(earliest()) == 4 })
+	waitFor(t, "absolute backlog", func() bool { return len(at2()) == 2 })
+
+	publishDurableSeq(t, producer, topic, 4)
+	waitFor(t, "live tails", func() bool {
+		return len(earliest()) == 5 && len(at2()) == 3 && len(next()) == 1
+	})
+	time.Sleep(100 * time.Millisecond)
+	if got := earliest(); !sameSeqs(got, []int{0, 1, 2, 3, 4}) {
+		t.Errorf("earliest = %v, want [0 1 2 3 4]", got)
+	}
+	if got := at2(); !sameSeqs(got, []int{2, 3, 4}) {
+		t.Errorf("offset 2 = %v, want [2 3 4]", got)
+	}
+	if got := next(); !sameSeqs(got, []int{4}) {
+		t.Errorf("next = %v, want [4]", got)
+	}
+}
+
+// rawDurableConn is a hand-driven STOMP subscriber for wire-level
+// assertions on durable delivery and the ACK fast paths.
+func rawDurableConn(t *testing.T, addr, login string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial raw: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	rd := bufio.NewReader(conn)
+	connect := stomp.NewFrame(stomp.CmdConnect)
+	connect.SetHeader(stomp.HdrLogin, login)
+	if err := stomp.WriteFrame(conn, connect); err != nil {
+		t.Fatalf("raw CONNECT: %v", err)
+	}
+	if f, err := stomp.ReadFrame(rd); err != nil || f.Command != stomp.CmdConnected {
+		t.Fatalf("raw handshake: frame %v, err %v", f, err)
+	}
+	return conn, rd
+}
+
+// rawSubscribe sends a SUBSCRIBE with the given extra headers and waits
+// for its receipt.
+func rawSubscribe(t *testing.T, conn net.Conn, rd *bufio.Reader, topic, subID string, extra map[string]string) {
+	t.Helper()
+	sub := stomp.NewFrame(stomp.CmdSubscribe)
+	sub.SetHeader(stomp.HdrID, subID)
+	sub.SetHeader(stomp.HdrDestination, topic)
+	for k, v := range extra {
+		sub.SetHeader(k, v)
+	}
+	sub.SetHeader(stomp.HdrReceipt, "r-sub")
+	if err := stomp.WriteFrame(conn, sub); err != nil {
+		t.Fatalf("raw SUBSCRIBE: %v", err)
+	}
+	for {
+		f, err := stomp.ReadFrame(rd)
+		if err != nil {
+			t.Fatalf("raw SUBSCRIBE receipt: %v", err)
+		}
+		if f.Command == stomp.CmdReceipt {
+			return
+		}
+	}
+}
+
+// rawReadOffsetMessage reads the next MESSAGE and returns its seq
+// attribute and delivery offset header.
+func rawReadOffsetMessage(t *testing.T, conn net.Conn, rd *bufio.Reader) (seq int, offset string) {
+	t.Helper()
+	_ = conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	defer conn.SetReadDeadline(time.Time{})
+	f, err := stomp.ReadFrame(rd)
+	if err != nil {
+		t.Fatalf("read MESSAGE: %v", err)
+	}
+	if f.Command != stomp.CmdMessage {
+		t.Fatalf("read %s frame, want MESSAGE: %v", f.Command, f)
+	}
+	seq, err = strconv.Atoi(f.Header("seq"))
+	if err != nil {
+		t.Fatalf("MESSAGE without numeric seq: %v", f)
+	}
+	return seq, f.Header(stomp.HdrDeliveryOffset)
+}
+
+// rawExpectSilence asserts no frame arrives within d — in particular, no
+// ERROR frame.
+func rawExpectSilence(t *testing.T, conn net.Conn, rd *bufio.Reader, d time.Duration) {
+	t.Helper()
+	_ = conn.SetReadDeadline(time.Now().Add(d))
+	defer conn.SetReadDeadline(time.Time{})
+	if f, err := stomp.ReadFrame(rd); err == nil {
+		t.Fatalf("expected no frame, read %v", f)
+	} else if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("expected read deadline, got %v", err)
+	}
+}
+
+// rawAck writes an ACK whose credit and offset headers are each optional
+// — the wire shapes a durable credited consumer produces.
+func rawAck(t *testing.T, conn net.Conn, subID, credit, offset string) {
+	t.Helper()
+	f := stomp.NewFrame(stomp.CmdAck)
+	f.SetHeader(stomp.HdrSubscription, subID)
+	if credit != "" {
+		f.SetHeader(stomp.HdrCredit, credit)
+	}
+	if offset != "" {
+		f.SetHeader(stomp.HdrOffset, offset)
+	}
+	if err := stomp.WriteFrame(conn, f); err != nil {
+		t.Fatalf("write ACK: %v", err)
+	}
+}
+
+// TestDurableAckCreditAndOffsetWire pins the ACK contract at the wire
+// level: one frame carrying both a credit grant and an offset ack applies
+// both, and an offset-only ACK is handled — no ERROR frame, no
+// UnhandledFrames — while still persisting the group's progress.
+func TestDurableAckCreditAndOffsetWire(t *testing.T) {
+	const topic = "/d/raw"
+	dir := t.TempDir()
+	b, srv := startDurableBroker(t, testPolicy(), dir, topic)
+
+	conn, rd := rawDurableConn(t, srv.Addr(), "consumer")
+	rawSubscribe(t, conn, rd, topic, "d-0", map[string]string{
+		stomp.HdrCredit: "2",
+		stomp.HdrGroup:  "gr",
+	})
+
+	for seq := 0; seq < 5; seq++ {
+		ev := event.New(topic, map[string]string{"seq": strconv.Itoa(seq)})
+		if err := b.Publish("producer", ev); err != nil {
+			t.Fatalf("Publish seq %d: %v", seq, err)
+		}
+	}
+
+	// Window of 2: replay delivers offsets 0 and 1 and parks.
+	for want := 0; want < 2; want++ {
+		seq, off := rawReadOffsetMessage(t, conn, rd)
+		if seq != want || off != strconv.Itoa(want) {
+			t.Fatalf("delivery %d: seq=%d offset=%q", want, seq, off)
+		}
+	}
+	rawExpectSilence(t, conn, rd, 100*time.Millisecond)
+
+	// One frame, both headers: the grant releases two more deliveries and
+	// the offset persists the group's progress.
+	rawAck(t, conn, "d-0", "4", "2")
+	for want := 2; want < 4; want++ {
+		seq, off := rawReadOffsetMessage(t, conn, rd)
+		if seq != want || off != strconv.Itoa(want) {
+			t.Fatalf("delivery %d: seq=%d offset=%q", want, seq, off)
+		}
+	}
+	j, err := srv.journals.open(topic)
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	waitFor(t, "combined ack persisted", func() bool { return j.Acked("gr") == 2 })
+
+	// Offset-only ACK: no credit movement (the window stays shut), no
+	// ERROR frame, no unhandled-frame count — and the ack persists.
+	rawAck(t, conn, "d-0", "", "4")
+	rawExpectSilence(t, conn, rd, 100*time.Millisecond)
+	waitFor(t, "offset-only ack persisted", func() bool { return j.Acked("gr") == 4 })
+	if got := srv.Stats().UnhandledFrames; got != 0 {
+		t.Errorf("UnhandledFrames = %d, want 0", got)
+	}
+	if got := srv.Stats().ReplayDeliveries; got != 4 {
+		t.Errorf("ReplayDeliveries = %d, want 4", got)
+	}
+}
+
+// TestDurableSubscribeValidation covers the rejection surface: durable
+// subscriptions need a journal-backed exact topic and no selector, and a
+// server with durable patterns needs a journal directory.
+func TestDurableSubscribeValidation(t *testing.T) {
+	if _, err := NewServer("127.0.0.1:0", New(testPolicy()), ServerConfig{
+		Durable: []string{"/x"},
+	}); err == nil {
+		t.Error("NewServer with Durable but no JournalDir: want error")
+	}
+	if _, err := NewServer("127.0.0.1:0", New(testPolicy()), ServerConfig{
+		JournalDir:         t.TempDir(),
+		JournalSegmentSize: -1,
+	}); err == nil {
+		t.Error("NewServer with negative JournalSegmentSize: want error")
+	}
+
+	const topic = "/d/val"
+	dir := t.TempDir()
+	_, srv := startDurableBroker(t, testPolicy(), dir, topic)
+
+	// Each rejected SUBSCRIBE answers with an ERROR frame on its own
+	// connection.
+	expectSubscribeError := func(what, dest string, extra map[string]string) {
+		t.Helper()
+		conn, rd := rawDurableConn(t, srv.Addr(), "consumer")
+		sub := stomp.NewFrame(stomp.CmdSubscribe)
+		sub.SetHeader(stomp.HdrID, "bad-0")
+		sub.SetHeader(stomp.HdrDestination, dest)
+		for k, v := range extra {
+			sub.SetHeader(k, v)
+		}
+		if err := stomp.WriteFrame(conn, sub); err != nil {
+			t.Fatalf("%s: write SUBSCRIBE: %v", what, err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		f, err := stomp.ReadFrame(rd)
+		if err != nil {
+			t.Fatalf("%s: read: %v", what, err)
+		}
+		if f.Command != stomp.CmdError {
+			t.Errorf("%s: got %s frame, want ERROR", what, f.Command)
+		}
+	}
+	expectSubscribeError("selector on durable subscription", topic,
+		map[string]string{stomp.HdrGroup: "g", stomp.HdrSelector: "a = 'b'"})
+	expectSubscribeError("wildcard durable topic", "/d/*",
+		map[string]string{stomp.HdrGroup: "g"})
+	expectSubscribeError("non-durable topic", "/live/only",
+		map[string]string{stomp.HdrGroup: "g"})
+	expectSubscribeError("bad offset spec", topic,
+		map[string]string{stomp.HdrOffset: "latest-ish"})
+}

@@ -31,14 +31,15 @@ func (u pipeUnit) Init(ctx *engine.InitContext) error { return u.init(ctx) }
 // writes and engine dispatch — everything between two networked units.
 func BenchmarkNetworkPipeline(b *testing.B) {
 	for _, bc := range []struct {
-		fanout, shards, window int
-		stalled, credited      bool
+		fanout, shards, window     int
+		stalled, credited, durable bool
 	}{
 		{fanout: 1, shards: 1}, {fanout: 1, shards: 1, window: 64}, {fanout: 10, shards: 1},
 		{fanout: 100, shards: 1}, {fanout: 100, shards: 4}, {fanout: 100, shards: 1, stalled: true},
-		{fanout: 100, shards: 1, credited: true},
+		{fanout: 100, shards: 1, credited: true}, {fanout: 100, shards: 1, durable: true},
 	} {
-		fanout, shards, window, stalled, credited := bc.fanout, bc.shards, bc.window, bc.stalled, bc.credited
+		fanout, shards, window, stalled, credited, durable :=
+			bc.fanout, bc.shards, bc.window, bc.stalled, bc.credited, bc.durable
 		name := fmt.Sprintf("fanout=%d", fanout)
 		if shards > 1 {
 			// The sharded variant spreads the consumer's subscriptions
@@ -72,6 +73,15 @@ func BenchmarkNetworkPipeline(b *testing.B) {
 			// fanout=100 series (CI asserts it stays within 1.15x).
 			name += "/credited"
 		}
+		if durable {
+			// The durable variant journals every published /bench/out event
+			// (publish-tap append of the already-encoded wire image, default
+			// no-fsync policy); the consumer subscriptions stay live, so the
+			// series isolates what journaling adds to the publish path on
+			// top of the healthy fanout=100 series (CI asserts it stays
+			// within 1.5x and at the same per-trigger allocation budget).
+			name += "/durable"
+		}
 		b.Run(name, func(b *testing.B) {
 			policy := label.NewPolicy()
 			policy.Grant("consumer", label.Clearance,
@@ -79,6 +89,10 @@ func BenchmarkNetworkPipeline(b *testing.B) {
 			policy.Grant("producer", label.Clearance,
 				label.MustParsePattern("label:conf:ecric.org.uk/*"))
 			scfg := broker.ServerConfig{Logf: b.Logf}
+			if durable {
+				scfg.Durable = []string{"/bench/out"}
+				scfg.JournalDir = b.TempDir()
+			}
 			if stalled {
 				policy.Grant("stalled", label.Clearance,
 					label.MustParsePattern("label:conf:ecric.org.uk/*"))

@@ -108,3 +108,59 @@ func TestClientPublishAllocs(t *testing.T) {
 		t.Errorf("cold-event fast path = %g allocs/op, legacy = %g: want fast <= legacy", cold, legacy)
 	}
 }
+
+// TestClientPublishDraftAllocs pins the producer-side draft pool: a
+// producer that builds each publish with NewDraft and recycles it with
+// ReleasePublished after the publish completes pays only for the SEND
+// image itself — the Event struct and its attribute map come from the
+// pool — so the per-publish cost drops below the cold-event fast path
+// (which allocates a fresh event and map every time) and stays within a
+// fixed small budget.
+func TestClientPublishDraftAllocs(t *testing.T) {
+	c, err := DialBus(discardBroker(t), ClientConfig{Login: "producer"})
+	if err != nil {
+		t.Fatalf("DialBus: %v", err)
+	}
+	defer func() { _ = c.shards[0].conn.Close() }() // no DISCONNECT: the sink never replies
+
+	body := []byte(`{"summary": "report", "mdt": 7}`)
+	publishDraft := func() {
+		ev := event.NewDraft("/patient_report")
+		if err := ev.Set("patient_id", "33812769"); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+		if err := ev.Set("type", "cancer"); err != nil {
+			t.Fatalf("Set: %v", err)
+		}
+		ev.Body = body
+		if err := c.Publish(ev); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+		ev.ReleasePublished()
+	}
+	// Warm the pool: the first drafts allocate their structs and maps,
+	// which then recycle for the measured runs.
+	for i := 0; i < 8; i++ {
+		publishDraft()
+	}
+
+	draft := testing.AllocsPerRun(500, publishDraft)
+
+	// The same publish with a fresh New event every time — the cold path
+	// the draft pool exists to undercut.
+	cold := testing.AllocsPerRun(500, func() {
+		ev := event.New("/patient_report",
+			map[string]string{"patient_id": "33812769", "type": "cancer"})
+		ev.Body = body
+		if err := c.Publish(ev); err != nil {
+			t.Fatalf("Publish: %v", err)
+		}
+	})
+	t.Logf("Publish allocs/op: draft %g, cold new-event %g", draft, cold)
+	if draft > 2 {
+		t.Errorf("draft Publish allocs/op = %g, want <= 2 (image memo and buffer only)", draft)
+	}
+	if draft >= cold {
+		t.Errorf("draft = %g allocs/op, cold new-event = %g: pooling must undercut", draft, cold)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"safeweb/internal/event"
+	"safeweb/internal/journal"
 	"safeweb/internal/stomp"
 )
 
@@ -158,6 +159,21 @@ type ServerConfig struct {
 	// ran dry: raised once per stall run, when the first delivery parks.
 	// Runs on the delivering (publish) goroutine and must not block.
 	OnCreditStall func(ev CreditStallEvent)
+	// Durable lists topic patterns (same grammar as SUBSCRIBE
+	// destinations: exact, trailing "/*", or "*") whose publishes are
+	// appended to per-topic journals under JournalDir; consumers replay
+	// and resume them with SUBSCRIBE offset/group headers. Requires
+	// JournalDir.
+	Durable []string
+	// JournalDir is the root directory for durable-topic journals; one
+	// subdirectory per topic. Required when Durable is non-empty.
+	JournalDir string
+	// JournalSegmentSize overrides the journal segment roll threshold in
+	// bytes; zero selects the journal default (64 MiB).
+	JournalSegmentSize int64
+	// JournalSync is the journal fsync policy; the zero value is
+	// journal.SyncNever.
+	JournalSync journal.SyncPolicy
 }
 
 // ServerStats counts network-front activity not visible in the core
@@ -185,6 +201,19 @@ type ServerStats struct {
 	// unknown commands) or the frame was malformed for the one use the
 	// server has for it (ACK without a valid credit grant).
 	UnhandledFrames uint64
+	// DurableAppends counts publishes journaled to durable topics;
+	// DurableAppendErrors counts appends that failed (each is also
+	// logged — a durable topic silently losing history would defeat the
+	// audit trail).
+	DurableAppends      uint64
+	DurableAppendErrors uint64
+	// ReplayDeliveries counts MESSAGE frames served from journals by
+	// durable subscriptions; ReplayFiltered counts journal records
+	// withheld from a replaying consumer by the clearance check at read
+	// time (or by an unreadable persisted label header, which fails
+	// closed).
+	ReplayDeliveries uint64
+	ReplayFiltered   uint64
 }
 
 // SessionStats is a point-in-time snapshot of one live session's delivery
@@ -219,11 +248,21 @@ type Server struct {
 	evictAfter    uint32
 	creditPending int
 
-	droppedDeliveries atomic.Uint64
-	overflowDrops     atomic.Uint64
-	slowEvictions     atomic.Uint64
-	creditStalls      atomic.Uint64
-	unhandledFrames   atomic.Uint64
+	// journals backs the durable topics; nil when none are configured
+	// and no JournalDir was given. tapRemoves undoes the publish taps at
+	// Close.
+	journals   *journalStore
+	tapRemoves []func()
+
+	droppedDeliveries   atomic.Uint64
+	overflowDrops       atomic.Uint64
+	slowEvictions       atomic.Uint64
+	creditStalls        atomic.Uint64
+	unhandledFrames     atomic.Uint64
+	durableAppends      atomic.Uint64
+	durableAppendErrors atomic.Uint64
+	replayDeliveries    atomic.Uint64
+	replayFiltered      atomic.Uint64
 	// departedHighWater folds the queue high-water marks of closed
 	// sessions so Stats() keeps the all-time maximum.
 	departedHighWater atomic.Int64
@@ -283,12 +322,40 @@ func NewServer(addr string, b *Broker, cfg ServerConfig) (*Server, error) {
 	if creditPending == 0 {
 		creditPending = defaultCreditPending
 	}
+	if len(cfg.Durable) > 0 && cfg.JournalDir == "" {
+		return nil, errors.New("broker: ServerConfig.Durable requires JournalDir")
+	}
+	if cfg.JournalSegmentSize < 0 {
+		return nil, fmt.Errorf("broker: ServerConfig.JournalSegmentSize must not be negative, got %d", cfg.JournalSegmentSize)
+	}
 	srv := &Server{
 		broker:        b,
 		cfg:           cfg,
 		evictAfter:    uint32(evictAfter),
 		creditPending: creditPending,
 		sessions:      make(map[uint64]*serverSession),
+	}
+	if cfg.JournalDir != "" {
+		srv.journals = newJournalStore(cfg.JournalDir, journal.Options{
+			SegmentSize: cfg.JournalSegmentSize,
+			Sync:        cfg.JournalSync,
+		})
+		// Recover every existing journal now: torn tails are truncated and
+		// ack tables rebuilt before the first publish or subscribe, and a
+		// corrupt log fails construction instead of a consumer.
+		if err := srv.journals.rescan(); err != nil {
+			return nil, err
+		}
+		for _, pat := range cfg.Durable {
+			rm, err := b.SubscribeTap(pat, srv.journalAppend)
+			if err != nil {
+				for _, r := range srv.tapRemoves {
+					r()
+				}
+				return nil, fmt.Errorf("broker: durable pattern %q: %w", pat, err)
+			}
+			srv.tapRemoves = append(srv.tapRemoves, rm)
+		}
 	}
 	scfg := stomp.ServerConfig{
 		Handler:       srv,
@@ -303,6 +370,12 @@ func NewServer(addr string, b *Broker, cfg ServerConfig) (*Server, error) {
 	}
 	st, err := stomp.NewServer(addr, scfg)
 	if err != nil {
+		for _, rm := range srv.tapRemoves {
+			rm()
+		}
+		if srv.journals != nil {
+			_ = srv.journals.closeAll()
+		}
 		return nil, err
 	}
 	srv.stomp = st
@@ -312,8 +385,22 @@ func NewServer(addr string, b *Broker, cfg ServerConfig) (*Server, error) {
 // Addr returns the listen address.
 func (s *Server) Addr() string { return s.stomp.Addr() }
 
-// Close shuts down the network front (the broker itself stays open).
-func (s *Server) Close() error { return s.stomp.Close() }
+// Close shuts down the network front (the broker itself stays open): the
+// publish taps are removed first so no append can race the journal
+// teardown, then the stomp server drains its sessions (whose disconnect
+// path stops every replay feed), and only then are the journals closed.
+func (s *Server) Close() error {
+	for _, rm := range s.tapRemoves {
+		rm()
+	}
+	err := s.stomp.Close()
+	if s.journals != nil {
+		if cerr := s.journals.closeAll(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
 
 // Stats returns a snapshot of network-front counters.
 func (s *Server) Stats() ServerStats {
@@ -336,6 +423,10 @@ func (s *Server) Stats() ServerStats {
 		QueueHighWater:        hw,
 		CreditStalls:          s.creditStalls.Load(),
 		UnhandledFrames:       s.unhandledFrames.Load(),
+		DurableAppends:        s.durableAppends.Load(),
+		DurableAppendErrors:   s.durableAppendErrors.Load(),
+		ReplayDeliveries:      s.replayDeliveries.Load(),
+		ReplayFiltered:        s.replayFiltered.Load(),
 	}
 }
 
@@ -404,6 +495,9 @@ func (s *Server) OnDisconnect(sess *stomp.Session) {
 	}
 	for id, ws := range ss.subs {
 		s.broker.Unsubscribe(ws.sub)
+		if ws.replay != nil {
+			ws.replay.stop()
+		}
 		s.closeCredit(ss, id, ws)
 	}
 }
@@ -442,6 +536,13 @@ func (s *Server) OnFrameView(sess *stomp.Session, v *stomp.FrameView) error {
 		}
 		topic := v.Headers.Header(stomp.HdrDestination)
 		sel := v.Headers.Header(stomp.HdrSelector)
+		// An offset or group header makes this a durable subscription: it
+		// is fed from the topic's journal tail instead of the live fan-out
+		// (one delivery path, so resume cannot duplicate), with clearance
+		// re-enforced per record at read time.
+		if offStr, group := v.Headers.Header(stomp.HdrOffset), v.Headers.Header(stomp.HdrGroup); offStr != "" || group != "" {
+			return s.subscribeDurable(ss, clientID, topic, sel, v.Headers.Header(stomp.HdrCredit), offStr, group)
+		}
 		// An optional credit header arms a delivery window for the
 		// subscription; without it the wire behaviour is unchanged —
 		// infinite credit, no per-subscription state.
@@ -481,40 +582,67 @@ func (s *Server) OnFrameView(sess *stomp.Session, v *stomp.FrameView) error {
 			return nil
 		}
 		s.broker.Unsubscribe(ws.sub)
+		if ws.replay != nil {
+			ws.replay.stop()
+		}
 		s.closeCredit(ss, clientID, ws)
 		return nil
 
 	case stomp.CmdAck:
 		// The server runs auto-ack with no per-message acknowledgement;
-		// the one meaning ACK has is a credit replenishment grant.
+		// ACK carries a credit replenishment grant, a durable offset ack,
+		// or both on one frame (the piggyback a durable credited consumer
+		// uses). Whatever is present is applied; a frame carrying neither
+		// is unhandled.
 		cr := v.Headers.Header(stomp.HdrCredit)
-		if cr == "" {
-			return s.unhandledFrame("ACK without credit header (the server is auto-ack; ACK only carries credit grants)")
+		offStr := v.Headers.Header(stomp.HdrOffset)
+		if cr == "" && offStr == "" {
+			return s.unhandledFrame("ACK without credit or offset header (the server is auto-ack; ACK only carries credit grants and durable offset acks)")
 		}
-		grant, err := stomp.ParseCredit(cr)
-		if err != nil {
-			// Fail closed: a malformed grant rejects the frame and never
-			// replenishes.
-			s.unhandledFrames.Add(1)
-			return err
+		// Parse both before applying either: a frame half-malformed must
+		// reject as a unit, never grant-and-error.
+		var grant, offset int64
+		if cr != "" {
+			var err error
+			if grant, err = stomp.ParseCredit(cr); err != nil {
+				s.unhandledFrames.Add(1)
+				return err
+			}
+		}
+		if offStr != "" {
+			var err error
+			if offset, err = stomp.ParseOffsetAck(offStr); err != nil {
+				s.unhandledFrames.Add(1)
+				return err
+			}
 		}
 		subID := v.Headers.Header(stomp.HdrSubscription)
 		if subID == "" {
-			return s.unhandledFrame("ACK credit grant without subscription header")
+			return s.unhandledFrame("ACK without subscription header")
 		}
 		s.mu.Lock()
 		ws := ss.subs[subID]
 		s.mu.Unlock()
 		if ws == nil {
-			// A grant racing UNSUBSCRIBE or teardown has nothing left to
-			// replenish; that is the normal end of a credited stream, not
-			// a protocol error.
+			// An ack racing UNSUBSCRIBE or teardown has nothing left to
+			// apply to; that is the normal end of a stream, not a protocol
+			// error.
 			return nil
 		}
-		if ws.credit == nil {
-			return s.unhandledFrame("ACK credit grant for subscription " + subID + ", which subscribed without a credit window")
+		if cr != "" {
+			if ws.credit == nil {
+				return s.unhandledFrame("ACK credit grant for subscription " + subID + ", which subscribed without a credit window")
+			}
+			s.creditGrant(ss, subID, ws, grant)
 		}
-		s.creditGrant(ss, subID, ws, grant)
+		if offStr != "" {
+			if ws.replay == nil {
+				return s.unhandledFrame("ACK offset for subscription " + subID + ", which is not durable")
+			}
+			if err := s.replayAck(ws, offset); err != nil {
+				return err
+			}
+		}
 		return nil
 
 	case stomp.CmdNack, stomp.CmdBegin, stomp.CmdCommit, stomp.CmdAbort:

@@ -66,6 +66,14 @@ type Config struct {
 	// engine completes callbacks (see broker.ClientConfig.SubscribeCredit).
 	// Zero disables credit — the wire behaviour is unchanged.
 	SubscribeCredit int
+	// Durable, with NetworkBroker, lists the topic patterns the broker
+	// front journals to disk: publishes on them append to per-topic
+	// append-only logs under JournalDir, and consumers can subscribe with
+	// offset/group headers to replay and resume (see
+	// broker.ServerConfig.Durable). Requires JournalDir.
+	Durable []string
+	// JournalDir is the directory holding the durable topic journals.
+	JournalDir string
 	// ReplicationInterval is the Intranet→DMZ push period; zero means
 	// 50ms.
 	ReplicationInterval time.Duration
@@ -128,6 +136,8 @@ func New(cfg Config) (*Middleware, error) {
 			OverflowEvictAfter: cfg.OverflowEvictAfter,
 			WriteQueueLen:      cfg.WriteQueueLen,
 			WriteTimeout:       cfg.WriteTimeout,
+			Durable:            cfg.Durable,
+			JournalDir:         cfg.JournalDir,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: broker server: %w", err)

@@ -104,6 +104,16 @@ type Event struct {
 	// when Release retires the event — the delivery-consumed signal the
 	// networked client's credit replenishment rides (NotifyRelease).
 	onRelease func()
+
+	// gen is the pooled-lifecycle generation stamp enforcing the
+	// non-retention contract fail closed: even while the event is live,
+	// bumped to odd when Release recycles it into the pool, bumped back to
+	// even when the pool hands it out again. Accessors check the parity
+	// and panic with ErrEventReleased on a released event, so a callback
+	// that retained a delivery past its Release reads a loud lifecycle
+	// violation instead of silently aliasing whatever delivery the pool
+	// recycled the struct into.
+	gen uint32
 }
 
 // wireMemo is the once-computed result of building an event's wire image.
@@ -121,6 +131,24 @@ type sendMemo struct {
 
 // ErrFrozen is returned by Set on an event that has been published.
 var ErrFrozen = errors.New("event: frozen after publish")
+
+// ErrEventReleased is the panic value (wrapped) raised by accessing a
+// pooled delivery event after Release recycled it — a use-after-release
+// lifecycle violation. Catching it via errors.Is in a recover lets tests
+// and supervisors classify the failure; production code should treat it
+// as the bug it is.
+var ErrEventReleased = errors.New("event: use after Release")
+
+// checkLive panics when the event is a recycled pool entry: a consumer
+// retained the delivery past its Release and is now aliasing pool state.
+// Failing loudly here is the fail-closed half of the non-retention
+// contract — the alternative is silently reading another subscriber's
+// delivery.
+func (e *Event) checkLive() {
+	if e.gen&1 == 1 {
+		panic(fmt.Errorf("%w (clone or copy what outlives the callback)", ErrEventReleased))
+	}
+}
 
 // New creates an event on the given topic with a copy of the given
 // attributes and labels. An empty attribute map is stored as nil, so
@@ -154,13 +182,19 @@ func (e *Event) Validate() error {
 }
 
 // Get returns the attribute value for key and whether it was present.
+// Get panics with ErrEventReleased on a recycled pooled event.
 func (e *Event) Get(key string) (string, bool) {
+	e.checkLive()
 	v, ok := e.Attrs[key]
 	return v, ok
 }
 
-// Attr returns the attribute value for key, or "" if absent.
-func (e *Event) Attr(key string) string { return e.Attrs[key] }
+// Attr returns the attribute value for key, or "" if absent. Attr panics
+// with ErrEventReleased on a recycled pooled event.
+func (e *Event) Attr(key string) string {
+	e.checkLive()
+	return e.Attrs[key]
+}
 
 // Set sets an attribute, initialising the map if needed. It returns an
 // error for reserved attribute names, and ErrFrozen for events that have
@@ -169,6 +203,7 @@ func (e *Event) Attr(key string) string { return e.Attrs[key] }
 // isolation boundaries. To modify a received event, Clone it (or build a
 // new one with Derive).
 func (e *Event) Set(key, value string) error {
+	e.checkLive()
 	if e.frozen {
 		return fmt.Errorf("%w: %q", ErrFrozen, key)
 	}
@@ -188,6 +223,7 @@ func (e *Event) Set(key, value string) error {
 // re-label it (as the federation bridge does) without a stale wire
 // header surviving.
 func (e *Event) Clone() *Event {
+	e.checkLive()
 	out := &Event{
 		Topic:  e.Topic,
 		Labels: e.Labels,
@@ -222,6 +258,7 @@ func (e *Event) Clone() *Event {
 // past their own return — the same non-retention contract as the pooled
 // engine Context; Clone what must outlive the callback.
 func (e *Event) Delivery() *Event {
+	e.checkLive()
 	if len(e.Attrs) == 0 {
 		return e
 	}
@@ -251,6 +288,9 @@ var deliveryPool = sync.Pool{New: func() any { return new(Event) }}
 func newPooledEvent() *Event {
 	e := deliveryPool.Get().(*Event)
 	e.pooled = true
+	if e.gen&1 == 1 {
+		e.gen++ // back to even: the struct is live again
+	}
 	return e
 }
 
@@ -298,6 +338,11 @@ func (e *Event) Release() {
 	} else {
 		clear(e.Attrs)
 	}
+	// Stamp the struct released (odd generation) only on the real recycle
+	// path: a frozen escapee above stays live — it may still be shared
+	// with other subscribers — while a recycled struct must fail any late
+	// access loudly (checkLive).
+	e.gen++
 	deliveryPool.Put(e)
 }
 
@@ -326,6 +371,51 @@ func (e *Event) Freeze() {
 	if e.labelHeader == "" && !e.Labels.IsEmpty() {
 		e.labelHeader = e.Labels.String()
 	}
+}
+
+// LabelHeader returns the sorted wire form of the event's label set —
+// the value of the labels transport header — computing it on first use
+// if Freeze has not already memoised it. The durable journal persists
+// this string with each record so replay can re-parse and re-enforce
+// clearance at read time without touching the wire image.
+func (e *Event) LabelHeader() string {
+	if e.labelHeader == "" && !e.Labels.IsEmpty() {
+		e.labelHeader = e.Labels.String()
+	}
+	return e.labelHeader
+}
+
+// NewDraft returns a pooled event for a producer to fill and publish —
+// the producer-side counterpart of the delivery pool. A draft behaves
+// exactly like a New event (Set, Body, Labels all work) until it is
+// published; after the publish completes, a producer that owns the
+// networked-client fast path exclusively may call ReleasePublished to
+// recycle the struct, dropping the per-publish Event and map allocations
+// from the cold-publish cost. Producers that publish through an
+// in-process broker handle must NOT release drafts: the broker shares
+// the pointer with subscribers.
+func NewDraft(topic string) *Event {
+	e := newPooledEvent()
+	e.Topic = topic
+	return e
+}
+
+// ReleasePublished recycles a published draft back into the pool. It is
+// safe only when the caller is the event's sole remaining owner — i.e.
+// the event was created with NewDraft and published exclusively through
+// the networked Client, whose write queue holds the event's heap-separate
+// SEND image, never the Event struct itself. A no-op on non-pooled
+// events, so callers may guard a mixed fleet of drafts and New events
+// with a single unconditional call.
+func (e *Event) ReleasePublished() {
+	if e == nil || !e.pooled {
+		return
+	}
+	// Freeze marked the event shared for the duration of the publish; the
+	// caller asserting sole ownership un-marks it so Release recycles
+	// instead of leaking the struct as a frozen escapee.
+	e.frozen = false
+	e.Release()
 }
 
 // wireBuilds counts wire-image encodes across all events, for tests and

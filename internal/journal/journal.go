@@ -1,0 +1,468 @@
+// Package journal implements the append-only event log behind SafeWeb's
+// durable topics: a fixed-size segment log whose records carry a
+// published event's preencoded STOMP MESSAGE image (stomp.WireImage)
+// verbatim, plus the topic, label header and timestamp replay needs to
+// re-route and re-check it.
+//
+// One Journal is one topic's log, a directory of numbered segment files
+// plus an ack log. The design goals, in order:
+//
+//   - Zero re-marshal. Append stores the wire image the fan-out path
+//     already encoded; replay serves those bytes straight back to the
+//     wire. Neither direction touches the event codec.
+//   - Fail-closed recovery. Every record is CRC-32C framed; Open scans
+//     the log and truncates the torn tail a crash mid-append leaves
+//     behind, so the journal never replays half a record.
+//   - Idempotent cumulative acks. A consumer group's progress is a single
+//     monotonic offset ("records below N are processed"), persisted as
+//     append-only ack records whose live value is the maximum — the same
+//     CAS-max discipline the credit window uses, so duplicated or
+//     reordered acks can never regress a group.
+//   - Clearance at read time. Records keep the event's label header;
+//     the broker re-parses and re-enforces clearance on every replay, so
+//     a policy change between write and read is honoured (package broker
+//     owns that check; the journal just preserves the evidence).
+//
+// Offsets are dense record indexes starting at zero. The fsync policy is
+// explicit (SyncNever trusts the OS page cache, SyncAlways syncs every
+// append); compaction and retention are out of scope — the log only
+// grows.
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// SyncPolicy selects when appends reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncNever never fsyncs: appends are durable against process crash
+	// (the write hits the page cache) but not against power loss. The
+	// default, and what the durable fan-out benchmark measures.
+	SyncNever SyncPolicy = iota
+	// SyncAlways fsyncs after every event append and every ack.
+	SyncAlways
+)
+
+// defaultSegmentSize is the segment roll threshold when Options leaves it
+// zero.
+const defaultSegmentSize = 64 << 20
+
+// segmentSuffix names segment files: "<base offset, 20 digits>.seg".
+const segmentSuffix = ".seg"
+
+// ackLogName is the per-journal ack log file.
+const ackLogName = "acks.log"
+
+// Options configures a Journal.
+type Options struct {
+	// SegmentSize is the roll threshold in bytes: an append that would
+	// grow the active segment past it starts a new segment (a single
+	// record larger than the threshold still gets a segment to itself).
+	// Zero means 64 MiB.
+	SegmentSize int64
+	// Sync is the fsync policy; the zero value is SyncNever.
+	Sync SyncPolicy
+}
+
+// ErrOffsetOutOfRange reports a Read at an offset the journal does not
+// hold.
+var ErrOffsetOutOfRange = errors.New("journal: offset out of range")
+
+// errClosed reports use of a closed journal.
+var errClosed = errors.New("journal: closed")
+
+// segment is one log file: records [base, base+len(pos)).
+type segment struct {
+	base int64
+	f    *os.File
+	size int64
+	// pos holds each record's byte offset within the file; a record's
+	// framed length runs to the next entry (or to size for the last).
+	pos []int64
+}
+
+// Journal is one topic's append-only log. All methods are safe for
+// concurrent use; appends are serialised, reads run concurrently with
+// appends (a reader never sees a record before NextOffset covers it).
+type Journal struct {
+	dir     string
+	segSize int64
+	sync    SyncPolicy
+
+	// next is the offset the next append receives — equivalently the
+	// number of records the journal holds. Advanced only after the record
+	// is fully written, so a concurrent reader bounded by NextOffset only
+	// ever reads committed bytes.
+	next atomic.Int64
+
+	// signal is closed (and replaced) after every committed append — the
+	// tailing-replay wakeup. Grab AppendSignal before reading NextOffset
+	// and no append can slip between the check and the wait.
+	signal atomic.Pointer[chan struct{}]
+
+	mu     sync.Mutex // guards segs, scratch and append/roll
+	segs   []*segment
+	buf    []byte // append scratch, reused
+	closed bool
+
+	ackMu  sync.Mutex
+	ackF   *os.File
+	acked  map[string]int64
+	ackBuf []byte
+}
+
+// Open opens (creating if needed) the journal in dir, scanning every
+// segment to rebuild the offset index and truncating any torn tail the
+// last crash left in the final segment or the ack log. Corruption in the
+// interior of the log (a non-final segment) is not repairable and fails
+// Open.
+func Open(dir string, opts Options) (*Journal, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = defaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir, segSize: opts.SegmentSize, sync: opts.Sync}
+	ch := make(chan struct{})
+	j.signal.Store(&ch)
+
+	names, err := segmentNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	nextOffset := int64(0)
+	for i, name := range names {
+		base, err := strconv.ParseInt(strings.TrimSuffix(name, segmentSuffix), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("journal: bad segment name %q", name)
+		}
+		if base != nextOffset {
+			return nil, fmt.Errorf("journal: segment %q starts at offset %d, want %d (missing segment?)", name, base, nextOffset)
+		}
+		seg, err := openSegment(filepath.Join(dir, name), base, i == len(names)-1)
+		if err != nil {
+			j.closeLocked()
+			return nil, err
+		}
+		j.segs = append(j.segs, seg)
+		nextOffset = base + int64(len(seg.pos))
+	}
+	j.next.Store(nextOffset)
+
+	if err := j.openAcks(); err != nil {
+		j.closeLocked()
+		return nil, err
+	}
+	return j, nil
+}
+
+// segmentNames lists the directory's segment files in base-offset order.
+func segmentNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), segmentSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded bases sort numerically
+	return names, nil
+}
+
+// openSegment opens one segment file and scans it into an offset index.
+// For the final segment a scan failure truncates the file at the last
+// good record — the torn tail of a crashed append; for interior segments
+// it is unrecoverable corruption.
+func openSegment(path string, base int64, last bool) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	seg := &segment{base: base, f: f}
+	var rec Record
+	good := int64(0)
+	for int(good) < len(data) {
+		n, err := decodeRecord(data[good:], &rec)
+		if err != nil {
+			if !last {
+				_ = f.Close()
+				return nil, fmt.Errorf("journal: segment %s offset %d: %w", filepath.Base(path), good, err)
+			}
+			// Torn tail: drop everything from the first bad frame on.
+			if terr := f.Truncate(good); terr != nil {
+				_ = f.Close()
+				return nil, fmt.Errorf("journal: truncating torn tail of %s: %w", filepath.Base(path), terr)
+			}
+			break
+		}
+		seg.pos = append(seg.pos, good)
+		good += int64(n)
+	}
+	seg.size = good
+	if _, err := f.Seek(seg.size, 0); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return seg, nil
+}
+
+// openAcks opens and scans the ack log, truncating its torn tail and
+// folding every record into the per-group maximum.
+func (j *Journal) openAcks() error {
+	path := filepath.Join(j.dir, ackLogName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		_ = f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	acked := make(map[string]int64)
+	good := int64(0)
+	for int(good) < len(data) {
+		group, offset, n, err := decodeAckRecord(data[good:])
+		if err != nil {
+			if terr := f.Truncate(good); terr != nil {
+				_ = f.Close()
+				return fmt.Errorf("journal: truncating torn ack log: %w", terr)
+			}
+			break
+		}
+		if offset > acked[group] {
+			acked[group] = offset
+		}
+		good += int64(n)
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.ackF, j.acked = f, acked
+	return nil
+}
+
+// Append writes one record and returns its offset. The record is framed,
+// written with a single write call and committed (made visible to
+// NextOffset and the append signal) only afterwards, so a crash can tear
+// at most the record being written — exactly what Open's tail truncation
+// repairs.
+func (j *Journal) Append(rec *Record) (int64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, errClosed
+	}
+	buf, err := appendRecord(j.buf[:0], rec)
+	if err != nil {
+		return 0, err
+	}
+	j.buf = buf
+
+	offset := j.next.Load()
+	seg := j.activeSegmentLocked(int64(len(buf)))
+	if seg == nil {
+		seg, err = j.newSegmentLocked(offset)
+		if err != nil {
+			return 0, err
+		}
+	}
+	if _, err := seg.f.Write(buf); err != nil {
+		// A short or failed write leaves a torn tail; roll to a fresh
+		// segment so the next append does not stack a record after it
+		// (Open would stop at the tear and lose the stack).
+		_ = seg.f.Truncate(seg.size)
+		return 0, fmt.Errorf("journal: append: %w", err)
+	}
+	if j.sync == SyncAlways {
+		if err := seg.f.Sync(); err != nil {
+			return 0, fmt.Errorf("journal: sync: %w", err)
+		}
+	}
+	seg.pos = append(seg.pos, seg.size)
+	seg.size += int64(len(buf))
+
+	// Commit: advance the published bound, then wake tailing readers. A
+	// reader that grabbed the signal before this append sees the close; a
+	// reader that grabs it after sees the advanced NextOffset.
+	j.next.Store(offset + 1)
+	ch := make(chan struct{})
+	old := j.signal.Swap(&ch)
+	close(*old)
+	return offset, nil
+}
+
+// activeSegmentLocked returns the segment the next append goes to, or nil
+// when a new one must be rolled: no segments yet, or the active one is at
+// the roll threshold and non-empty (a record larger than the threshold
+// still gets a segment to itself rather than failing).
+func (j *Journal) activeSegmentLocked(recLen int64) *segment {
+	if len(j.segs) == 0 {
+		return nil
+	}
+	seg := j.segs[len(j.segs)-1]
+	if len(seg.pos) > 0 && seg.size+recLen > j.segSize {
+		return nil
+	}
+	return seg
+}
+
+// segmentName formats a segment filename from its base offset.
+func segmentName(base int64) string {
+	return fmt.Sprintf("%020d%s", base, segmentSuffix)
+}
+
+// newSegmentLocked rolls a fresh segment whose base is the given offset.
+func (j *Journal) newSegmentLocked(base int64) (*segment, error) {
+	path := filepath.Join(j.dir, segmentName(base))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: roll segment: %w", err)
+	}
+	seg := &segment{base: base, f: f}
+	j.segs = append(j.segs, seg)
+	return seg, nil
+}
+
+// Read decodes the record at the given offset into rec. The record's
+// Image is freshly allocated per call: readers hand it to the wire (or
+// hold it arbitrarily long) without aliasing journal state. Offsets at or
+// past NextOffset return ErrOffsetOutOfRange.
+func (j *Journal) Read(offset int64, rec *Record) error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return errClosed
+	}
+	if offset < 0 || offset >= j.next.Load() {
+		j.mu.Unlock()
+		return fmt.Errorf("%w: %d (journal holds [0,%d))", ErrOffsetOutOfRange, offset, j.next.Load())
+	}
+	// Locate the owning segment: the last one whose base is <= offset.
+	i := sort.Search(len(j.segs), func(i int) bool { return j.segs[i].base > offset }) - 1
+	seg := j.segs[i]
+	rel := offset - seg.base
+	start := seg.pos[rel]
+	end := seg.size
+	if int(rel+1) < len(seg.pos) {
+		end = seg.pos[rel+1]
+	}
+	f := seg.f
+	j.mu.Unlock()
+
+	// The byte range [start,end) is committed and immutable; the ReadAt
+	// runs outside the lock so replay never stalls appends.
+	buf := make([]byte, end-start)
+	if _, err := f.ReadAt(buf, start); err != nil {
+		return fmt.Errorf("journal: read offset %d: %w", offset, err)
+	}
+	if _, err := decodeRecord(buf, rec); err != nil {
+		return fmt.Errorf("journal: read offset %d: %w", offset, err)
+	}
+	return nil
+}
+
+// NextOffset returns the offset the next append will receive — the
+// exclusive upper bound of readable offsets.
+func (j *Journal) NextOffset() int64 { return j.next.Load() }
+
+// AppendSignal returns a channel closed when a record is appended after
+// this call. Tailing readers must grab the signal before checking
+// NextOffset: an append between the two closes the already-grabbed
+// channel, so the wait cannot miss it.
+func (j *Journal) AppendSignal() <-chan struct{} { return *j.signal.Load() }
+
+// Ack records a consumer group's cumulative progress: every record below
+// offset is processed. Acks are idempotent max-wins — an offset at or
+// below the group's current mark is a no-op, so duplicated, reordered or
+// replayed acks can never regress a group.
+func (j *Journal) Ack(group string, offset int64) error {
+	if group == "" {
+		return errors.New("journal: empty ack group")
+	}
+	if offset < 0 {
+		return fmt.Errorf("journal: negative ack offset %d", offset)
+	}
+	j.ackMu.Lock()
+	defer j.ackMu.Unlock()
+	if j.ackF == nil {
+		return errClosed
+	}
+	if offset <= j.acked[group] {
+		return nil
+	}
+	buf, err := appendAckRecord(j.ackBuf[:0], group, offset)
+	if err != nil {
+		return err
+	}
+	j.ackBuf = buf
+	if _, err := j.ackF.Write(buf); err != nil {
+		return fmt.Errorf("journal: ack: %w", err)
+	}
+	if j.sync == SyncAlways {
+		if err := j.ackF.Sync(); err != nil {
+			return fmt.Errorf("journal: ack sync: %w", err)
+		}
+	}
+	j.acked[group] = offset
+	return nil
+}
+
+// Acked returns a group's cumulative acked offset — the offset replay
+// resumes from. An unknown group is at zero: the whole log is unacked.
+func (j *Journal) Acked(group string) int64 {
+	j.ackMu.Lock()
+	defer j.ackMu.Unlock()
+	return j.acked[group]
+}
+
+// Close closes the journal's files. Appends and reads fail afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	err := j.closeLocked()
+	j.mu.Unlock()
+
+	j.ackMu.Lock()
+	if j.ackF != nil {
+		if cerr := j.ackF.Close(); err == nil {
+			err = cerr
+		}
+		j.ackF = nil
+	}
+	j.ackMu.Unlock()
+	return err
+}
+
+func (j *Journal) closeLocked() error {
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	var err error
+	for _, seg := range j.segs {
+		if cerr := seg.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -40,9 +40,15 @@ type DeployConfig struct {
 	WriteQueueLen      int
 	WriteTimeout       time.Duration
 	SubscribeCredit    int
-	DisableTracking    bool
-	AuthWork           int
-	OnRequest          func(webfront.PhaseTimes)
+	// Durable and JournalDir, with NetworkBroker, journal publishes on the
+	// listed topic patterns to disk under JournalDir, so consumers can
+	// replay and resume them with offset/group subscriptions (see
+	// core.Config.Durable).
+	Durable         []string
+	JournalDir      string
+	DisableTracking bool
+	AuthWork        int
+	OnRequest       func(webfront.PhaseTimes)
 	// Logf logs; nil is quiet.
 	Logf func(format string, args ...any)
 }
@@ -78,6 +84,8 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 		WriteQueueLen:      cfg.WriteQueueLen,
 		WriteTimeout:       cfg.WriteTimeout,
 		SubscribeCredit:    cfg.SubscribeCredit,
+		Durable:            cfg.Durable,
+		JournalDir:         cfg.JournalDir,
 		DisableTracking:    cfg.DisableTracking,
 		AuthWork:           cfg.AuthWork,
 		OnRequest:          cfg.OnRequest,

@@ -33,6 +33,25 @@ type WireImage struct {
 	rsplit int
 }
 
+// RawMessageImage wraps already-encoded MESSAGE image bytes — typically
+// read back from a durable journal — without copying or re-marshalling.
+// buf must be a full image as produced by NewMessageImage or package
+// event's builder (command line, header block, content-length, body,
+// NUL), and split its routing-header splice offset; both come verbatim
+// from Bytes and Split of the image that was persisted. The caller hands
+// over ownership: buf must not be mutated afterwards.
+func RawMessageImage(buf []byte, split int) *WireImage {
+	return &WireImage{buf: buf, split: split, rsplit: split}
+}
+
+// Bytes returns the full encoded image. The returned slice aliases the
+// image and must not be modified; pair it with Split to persist an image
+// and RawMessageImage to restore it.
+func (img *WireImage) Bytes() []byte { return img.buf }
+
+// Split returns the routing-header splice offset within Bytes.
+func (img *WireImage) Split() int { return img.split }
+
 // Prefix returns the command line and canonical (sorted, escaped) header
 // block, ending just before the splice point for the routing headers.
 // The returned slice aliases the image and must not be modified.
@@ -150,6 +169,39 @@ func (e *Encoder) EncodeImage(w io.Writer, img *WireImage, subscription, idPrefi
 	b = append(b, ':')
 	b = appendEscapedHeader(b, idPrefix)
 	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, '\n')
+	if cap(b) <= maxRetainedEncodeBuf {
+		e.buf = b[:0]
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	_, err := w.Write(img.Suffix())
+	return err
+}
+
+// EncodeImageOffset is EncodeImage with one extra per-delivery header:
+// the journal offset of a replayed durable event, carried as
+// HdrDeliveryOffset so a durable consumer can ack cumulative progress.
+// As with EncodeImage only the spliced headers are encoded per delivery;
+// the stored image bytes are written as-is.
+func (e *Encoder) EncodeImageOffset(w io.Writer, img *WireImage, subscription, idPrefix string, seq uint64, offset int64) error {
+	if _, err := w.Write(img.Prefix()); err != nil {
+		return err
+	}
+	b := e.buf[:0]
+	b = append(b, HdrSubscription...)
+	b = append(b, ':')
+	b = appendEscapedHeader(b, subscription)
+	b = append(b, '\n')
+	b = append(b, HdrMessageID...)
+	b = append(b, ':')
+	b = appendEscapedHeader(b, idPrefix)
+	b = strconv.AppendUint(b, seq, 10)
+	b = append(b, '\n')
+	b = append(b, HdrDeliveryOffset...)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, offset, 10)
 	b = append(b, '\n')
 	if cap(b) <= maxRetainedEncodeBuf {
 		e.buf = b[:0]

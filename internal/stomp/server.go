@@ -101,6 +101,18 @@ func (s *Session) SendMessageImage(img *WireImage, subscription, idPrefix string
 	return s.fw.send(outFrame{img: img, sub: subscription, idPrefix: idPrefix, idSeq: seq})
 }
 
+// SendMessageImageOffset is SendMessageImage with the journal offset of a
+// replayed durable record spliced in as the delivery-offset header. The
+// replay feed paces itself with the consumer's credit window, so the
+// blocking enqueue is the back-pressure it wants; there are no
+// non-blocking variants.
+func (s *Session) SendMessageImageOffset(img *WireImage, subscription, idPrefix string, seq uint64, offset int64) error {
+	if s.closed.Load() {
+		return net.ErrClosed
+	}
+	return s.fw.send(outFrame{img: img, sub: subscription, idPrefix: idPrefix, idSeq: seq, offset: offset, hasOffset: true})
+}
+
 // TrySendMessageImage is SendMessageImage without the blocking: a full
 // queue returns (false, nil) immediately, leaving the overflow decision —
 // drop, count, evict — to the caller. The broker's drop-newest and

@@ -54,6 +54,12 @@ type outFrame struct {
 	idPrefix string
 	receipt  string // img set, sub empty: SEND image receipt splice
 	flush    bool
+
+	// offset carries a replayed journal record's offset (hasOffset set) so
+	// the encoder splices the delivery-offset header alongside the routing
+	// headers; hasOffset distinguishes a real offset 0 from "no offset".
+	offset    int64
+	hasOffset bool
 }
 
 // frameWriter is the write-coalescing frame sink of one connection. Sends
@@ -300,6 +306,8 @@ func (fw *frameWriter) write(of outFrame) {
 	fw.armDeadline()
 	var err error
 	switch {
+	case of.img != nil && of.sub != "" && of.hasOffset:
+		err = fw.enc.EncodeImageOffset(fw.bw, of.img, of.sub, of.idPrefix, of.idSeq, of.offset)
 	case of.img != nil && of.sub != "":
 		err = fw.enc.EncodeImage(fw.bw, of.img, of.sub, of.idPrefix, of.idSeq)
 	case of.img != nil:
