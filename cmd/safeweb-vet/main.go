@@ -1,0 +1,61 @@
+// Command safeweb-vet runs the safeweb static-analysis suite: the
+// frozenmutate, noretain, policygen and hotpathlock analyzers that
+// mechanically enforce the broker's lifecycle and hot-path invariants
+// (see internal/lint).
+//
+// It speaks the go vet -vettool protocol, so it can be driven by the go
+// command:
+//
+//	go build -o "$(go env GOPATH)/bin/safeweb-vet" ./cmd/safeweb-vet
+//	go vet -vettool="$(which safeweb-vet)" ./...
+//
+// Invoked standalone with package patterns it fronts the same protocol
+// itself by re-executing `go vet -vettool=<self>`:
+//
+//	safeweb-vet ./...
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"safeweb/internal/lint"
+)
+
+func main() {
+	// The go command's vet protocol invokes the tool with -V=full (version
+	// fingerprint), -flags (flag discovery), or a package's *.cfg file.
+	// Hand those straight to unitchecker, which never returns.
+	for _, arg := range os.Args[1:] {
+		if arg == "-V=full" || arg == "-flags" || strings.HasSuffix(arg, ".cfg") {
+			unitchecker.Main(lint.Analyzers()...)
+		}
+	}
+
+	// Standalone front-end: let the go command do the loading by
+	// re-executing it against this binary.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "safeweb-vet: cannot locate own executable: %v\n", err)
+		os.Exit(1)
+	}
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdin = os.Stdin
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "safeweb-vet: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -439,6 +439,8 @@ type deliveryCounters struct {
 // mutate it afterwards. Subscribers share the event's immutable parts;
 // only the attribute map is copied per subscriber so that a buggy unit
 // mutating its input cannot affect its peers.
+//
+//safeweb:hotpath
 func (b *Broker) Publish(principal string, ev *event.Event) error {
 	if err := ev.Validate(); err != nil {
 		b.rejectedPublish.Add(1)

@@ -106,6 +106,8 @@ func newCreditState(window int64, pending int) *creditState {
 // deliveries are already parked — even with credit in hand, a new delivery
 // must queue behind the ring to keep per-publisher order — or when the
 // window is exhausted.
+//
+//safeweb:hotpath
 func (c *creditState) tryClaim() bool {
 	if c.parked.Load() != 0 {
 		return false
@@ -137,6 +139,8 @@ func (c *creditState) waitClaim() bool {
 
 // claim CASes one credit out of the window, returning false when none
 // remains. Safe with or without c.mu held.
+//
+//safeweb:hotpath
 func (c *creditState) claim() bool {
 	for {
 		sent := c.sent.Load()

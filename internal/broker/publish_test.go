@@ -100,6 +100,7 @@ func TestPublishWindowSurfacesBrokerError(t *testing.T) {
 	}
 	// The fail-fast rejection proved the event never reached the wire, so
 	// it must stay mutable for annotation and republish elsewhere.
+	//lint:ignore frozenmutate the fail-fast rejection left the event unfrozen; staying mutable is the property under test
 	if err := rejected.Set("retry", "1"); err != nil {
 		t.Errorf("fail-fast-rejected event is frozen: %v", err)
 	}
@@ -174,6 +175,7 @@ func TestPublishFreezeNoMutation(t *testing.T) {
 		if err := producer.Publish(ev); err != nil {
 			t.Fatalf("%s: Publish: %v", name, err)
 		}
+		//lint:ignore frozenmutate probing the freeze contract: Set after Publish must fail with ErrFrozen
 		if err := ev.Set("late", "write"); !errors.Is(err, event.ErrFrozen) {
 			t.Errorf("%s: Set after Publish = %v, want ErrFrozen", name, err)
 		}
@@ -217,13 +219,13 @@ func TestPublishTransportAttrFallback(t *testing.T) {
 
 	received := make(chan *event.Event, 4)
 	if _, err := consumer.Subscribe("/real", "", func(ev *event.Event) {
-		received <- ev
+		received <- ev //lint:ignore noretain test collector retains the delivery; it is asserted on and never Released, so the pool cannot reclaim it
 	}); err != nil {
 		t.Fatalf("Subscribe: %v", err)
 	}
 	evil := make(chan *event.Event, 4)
 	if _, err := consumer.Subscribe("/evil", "", func(ev *event.Event) {
-		evil <- ev
+		evil <- ev //lint:ignore noretain test collector retains the delivery; it is asserted on and never Released, so the pool cannot reclaim it
 	}); err != nil {
 		t.Fatalf("Subscribe /evil: %v", err)
 	}
@@ -335,7 +337,7 @@ func TestPublishEncodeOnce(t *testing.T) {
 
 	received := make(chan *event.Event, 8)
 	if _, err := consumer.Subscribe("/once", "", func(ev *event.Event) {
-		received <- ev
+		received <- ev //lint:ignore noretain test collector retains the delivery; it is asserted on and never Released, so the pool cannot reclaim it
 	}); err != nil {
 		t.Fatalf("Subscribe: %v", err)
 	}

@@ -674,8 +674,11 @@ func (s *Server) unhandledFrame(msg string) error {
 // and deliveries that cannot claim (window exhausted, or earlier
 // deliveries already parked) divert to the pending ring. Uncredited
 // subscriptions (ws nil or no credit header) skip the gate entirely.
+//
+//safeweb:hotpath
 func (s *Server) deliver(ss *serverSession, ws *wireSub, clientSubID string, ev *event.Event) {
 	if ws != nil && ws.credit != nil && !ws.credit.tryClaim() {
+		//lint:ignore hotpathlock parking is the declared slow path once the credit window is exhausted
 		s.parkDelivery(ss, ws, clientSubID, ev)
 		return
 	}
@@ -766,7 +769,7 @@ func (s *Server) evict(ss *serverSession, clientSubID string, drops uint64) {
 		})
 	}
 	s.cfg.Logf("broker: evicting slow consumer session %d (%s): %d deliveries dropped",
-		ss.sess.ID(), ss.sess.Login(), drops)
+		ss.sess.ID(), ss.sess.Login(), drops) //lint:ignore hotpathlock eviction is terminal for the session; the formatting cost is irrelevant
 	_ = ss.sess.Kill()
 }
 
@@ -805,5 +808,5 @@ func (s *Server) reportDeliveryError(sessionID uint64, clientSubID string, ev *e
 		s.cfg.OnDeliveryError(sessionID, clientSubID, ev, err)
 		return
 	}
-	s.cfg.Logf("broker: dropped delivery to session %d sub %s: %v", sessionID, clientSubID, err)
+	s.cfg.Logf("broker: dropped delivery to session %d sub %s: %v", sessionID, clientSubID, err) //lint:ignore hotpathlock drop reporting runs only after a delivery already failed
 }

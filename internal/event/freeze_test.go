@@ -13,6 +13,7 @@ import (
 func TestFreezeBlocksSet(t *testing.T) {
 	e := New("/t", nil)
 	e.Freeze()
+	//lint:ignore frozenmutate probing the freeze contract: Set on a frozen event must fail with ErrFrozen
 	if err := e.Set("k", "v"); !errors.Is(err, ErrFrozen) {
 		t.Errorf("Set on frozen event = %v, want ErrFrozen", err)
 	}

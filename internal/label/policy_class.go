@@ -1,0 +1,26 @@
+package label
+
+// policyMutators and policyReaders classify every exported Policy method.
+// The broker's cached-clearance invariant (ROADMAP: "any new policy
+// mutation path MUST bump the generation or cached clearance goes stale")
+// is enforced twice from this one list: at compile time by the policygen
+// analyzer (internal/lint), which checks that every exported method is
+// classified and that every classified mutator bumps the generation
+// counter on every path into it, and at run time by
+// TestPolicyMutatorsBumpGeneration, which property-checks the same
+// contract over random operation sequences.
+var (
+	policyMutators = map[string]bool{
+		"SetPrincipal":    true,
+		"RemovePrincipal": true,
+		"Grant":           true,
+		"Revoke":          true,
+	}
+	policyReaders = map[string]bool{
+		"Generation":   true,
+		"WriteTo":      true,
+		"PrivilegesOf": true,
+		"IsPrivileged": true,
+		"Principals":   true,
+	}
+)

@@ -6,28 +6,9 @@ import (
 	"testing"
 )
 
-// policyMutators and policyReaders classify every exported Policy method.
-// The broker's cached-clearance invariant (ROADMAP: "any new policy
-// mutation path MUST bump the generation or cached clearance goes stale")
-// is enforced here: TestPolicyMethodsClassified fails when a new exported
-// method appears without being classified, and
-// TestPolicyMutatorsBumpGeneration property-checks that every classified
-// mutator moves the generation counter.
-var (
-	policyMutators = map[string]bool{
-		"SetPrincipal":    true,
-		"RemovePrincipal": true,
-		"Grant":           true,
-		"Revoke":          true,
-	}
-	policyReaders = map[string]bool{
-		"Generation":   true,
-		"WriteTo":      true,
-		"PrivilegesOf": true,
-		"IsPrivileged": true,
-		"Principals":   true,
-	}
-)
+// The policyMutators/policyReaders classification lives in
+// policy_class.go, shared with the policygen analyzer that re-checks the
+// same contract at compile time.
 
 // TestPolicyMethodsClassified forces the author of any new Policy method
 // to decide whether it mutates: an unclassified method fails the test, and

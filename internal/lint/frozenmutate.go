@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// FrozenMutate flags mutations of events after their freeze point: a
+// broker Publish call (Broker, Client or Endpoint) or an explicit
+// Event.Freeze in the same function, and any mutation at all of the event
+// parameter of a SubscribeWire or SubscribeTap handler literal, which
+// receives the shared frozen original.
+var FrozenMutate = &analysis.Analyzer{
+	Name:     "frozenmutate",
+	Doc:      "flag mutations of an event after it was published or frozen",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runFrozenMutate,
+}
+
+func runFrozenMutate(pass *analysis.Pass) (interface{}, error) {
+	sup := newSuppressor(pass, "frozenmutate")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body != nil {
+			checkMutateAfterFreeze(pass, sup, body)
+		}
+	})
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		fn, recv := methodCall(pass.TypesInfo, call)
+		if fn == nil {
+			return
+		}
+		if fn.Name() != "SubscribeWire" && fn.Name() != "SubscribeTap" {
+			return
+		}
+		if _, ok := namedType(recv); !ok || fn.Pkg() == nil || !pkgPathMatches(fn.Pkg().Path(), brokerPkg) {
+			return
+		}
+		for _, arg := range call.Args {
+			lit, ok := arg.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			for _, param := range eventParams(pass, lit) {
+				checkHandlerMutations(pass, sup, lit.Body, param, fn.Name())
+			}
+		}
+	})
+	return nil, nil
+}
+
+// eventParams returns the objects of a function literal's parameters of
+// type *event.Event.
+func eventParams(pass *analysis.Pass, lit *ast.FuncLit) []types.Object {
+	var out []types.Object
+	if lit.Type.Params == nil {
+		return nil
+	}
+	for _, field := range lit.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isPtrToPkgType(obj.Type(), eventPkg, "Event") {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// checkMutateAfterFreeze scans one function body in source order, records
+// where each event identifier is frozen (published or explicitly frozen),
+// and flags later mutations of the same identifier. Nested function
+// literals are skipped — they form their own scope with their own check —
+// so a callback defined after a publish is not misattributed to the
+// publishing flow.
+func checkMutateAfterFreeze(pass *analysis.Pass, sup *suppressor, body *ast.BlockStmt) {
+	frozen := make(map[types.Object]token.Pos)
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // separate scope, checked on its own
+		case *ast.CallExpr:
+			if obj, pos := freezePoint(pass, n); obj != nil {
+				if _, seen := frozen[obj]; !seen {
+					frozen[obj] = pos
+				}
+			}
+			if obj, desc := eventMutation(pass, n); obj != nil {
+				if pos, ok := frozen[obj]; ok && n.Pos() > pos {
+					sup.reportf(n, "event %s %s after it was frozen by publish (events are immutable once published; Clone before mutating)", obj.Name(), desc)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				// Rebinding the whole variable to another event ends the
+				// frozen regime: the name no longer aliases the published
+				// event.
+				if id, ok := lhs.(*ast.Ident); ok {
+					if obj := eventIdent(pass, id); obj != nil {
+						delete(frozen, obj)
+					}
+					continue
+				}
+				obj, desc := eventFieldWrite(pass, lhs)
+				if obj == nil {
+					continue
+				}
+				if pos, ok := frozen[obj]; ok && n.Pos() > pos {
+					sup.reportf(n, "event %s %s after it was frozen by publish (events are immutable once published; Clone before mutating)", obj.Name(), desc)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// checkHandlerMutations flags every mutation of the given event object
+// inside a wire/tap handler body, where the event is the shared frozen
+// original for all subscribers.
+func checkHandlerMutations(pass *analysis.Pass, sup *suppressor, body *ast.BlockStmt, param types.Object, via string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj, desc := eventMutation(pass, n); obj == param {
+				sup.reportf(n, "%s handler %s event %s: wire and tap handlers receive the shared frozen original and must never mutate it", via, desc, param.Name())
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if obj, desc := eventFieldWrite(pass, lhs); obj == param {
+					sup.reportf(n, "%s handler %s event %s: wire and tap handlers receive the shared frozen original and must never mutate it", via, desc, param.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// freezePoint reports the event identifier frozen by call, if any: the
+// *event.Event argument of a Publish method on a broker-package receiver,
+// or the receiver of an explicit Event.Freeze call. The returned position
+// is the call's; mutations strictly after it are in the frozen regime.
+func freezePoint(pass *analysis.Pass, call *ast.CallExpr) (types.Object, token.Pos) {
+	fn, recv := methodCall(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil, token.NoPos
+	}
+	switch {
+	case fn.Name() == "Publish" && pkgPathMatches(fn.Pkg().Path(), brokerPkg):
+		if _, ok := namedType(recv); !ok {
+			return nil, token.NoPos
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok {
+				obj := pass.TypesInfo.ObjectOf(id)
+				if obj != nil && isPtrToPkgType(obj.Type(), eventPkg, "Event") {
+					return obj, call.Pos()
+				}
+			}
+		}
+	case fn.Name() == "Freeze" && isPkgType(recv, eventPkg, "Event"):
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				return pass.TypesInfo.ObjectOf(id), call.Pos()
+			}
+		}
+	}
+	return nil, token.NoPos
+}
+
+// eventMutation reports whether call mutates an event through a plain
+// identifier receiver: ev.Set(k, v). It returns the receiver object and a
+// description of the mutation.
+func eventMutation(pass *analysis.Pass, call *ast.CallExpr) (types.Object, string) {
+	fn, recv := methodCall(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Set" || !isPkgType(recv, eventPkg, "Event") {
+		return nil, ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, ""
+	}
+	return pass.TypesInfo.ObjectOf(id), "mutated by Set"
+}
+
+// eventFieldWrite reports whether lhs writes a field of an event held in
+// a plain identifier (ev.Topic = ..., ev.Body = ...) or an entry of its
+// attribute map (ev.Attrs[k] = ...). It returns the event object and a
+// description.
+func eventFieldWrite(pass *analysis.Pass, lhs ast.Expr) (types.Object, string) {
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr:
+		if obj := eventIdent(pass, lhs.X); obj != nil {
+			return obj, "field " + lhs.Sel.Name + " written"
+		}
+	case *ast.IndexExpr:
+		if sel, ok := lhs.X.(*ast.SelectorExpr); ok {
+			if obj := eventIdent(pass, sel.X); obj != nil {
+				return obj, "attribute map entry written"
+			}
+		}
+	}
+	return nil, ""
+}
+
+// eventIdent resolves expr to the object of a plain identifier of type
+// *event.Event, or nil.
+func eventIdent(pass *analysis.Pass, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.ObjectOf(id)
+	if obj == nil || !isPtrToPkgType(obj.Type(), eventPkg, "Event") {
+		return nil
+	}
+	return obj
+}

@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// hotpathDirective marks a function whose body — and every unexported
+// same-package helper it transitively calls — must stay lock-free and
+// allocation-free. It goes in the function's doc comment:
+//
+//	//safeweb:hotpath
+const hotpathDirective = "//safeweb:hotpath"
+
+// HotPathLock enforces the fan-out/encode fast-path discipline on
+// functions annotated //safeweb:hotpath: no mutex Lock/RLock, no map or
+// slice literal allocation (composite literals or make), no package fmt
+// calls, and no interface-boxing conversions of non-pointer values,
+// checked transitively through unexported same-package helpers. A
+// //lint:ignore hotpathlock comment on a call site stops the walk into
+// that callee (a declared slow path); on a statement it suppresses the
+// diagnostic.
+var HotPathLock = &analysis.Analyzer{
+	Name: "hotpathlock",
+	Doc:  "flag locks, map/slice allocation, fmt calls and interface boxing in //safeweb:hotpath functions",
+	Run:  runHotPathLock,
+}
+
+func runHotPathLock(pass *analysis.Pass) (interface{}, error) {
+	sup := newSuppressor(pass, "hotpathlock")
+	decls := funcBodies(pass)
+
+	// Roots: every annotated declaration, in file order.
+	type root struct {
+		fn   *types.Func
+		decl *ast.FuncDecl
+	}
+	var roots []root
+	for fn, decl := range decls {
+		if hasHotpathDirective(decl) {
+			roots = append(roots, root{fn, decl})
+		}
+	}
+	if len(roots) == 0 {
+		return nil, nil
+	}
+
+	reported := make(map[token.Pos]bool)
+	for _, r := range roots {
+		w := &hotpathWalker{
+			pass:     pass,
+			sup:      sup,
+			decls:    decls,
+			root:     funcLabel(r.fn),
+			visited:  map[*ast.FuncDecl]bool{},
+			reported: reported,
+		}
+		w.walk(r.decl, funcLabel(r.fn))
+	}
+	return nil, nil
+}
+
+func hasHotpathDirective(decl *ast.FuncDecl) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		text := strings.TrimSpace(c.Text)
+		if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcLabel renders Type.Method or Func for diagnostics.
+func funcLabel(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n, ok := namedType(sig.Recv().Type()); ok {
+			return n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}
+
+type hotpathWalker struct {
+	pass     *analysis.Pass
+	sup      *suppressor
+	decls    map[*types.Func]*ast.FuncDecl
+	root     string
+	visited  map[*ast.FuncDecl]bool
+	reported map[token.Pos]bool // dedupe across roots sharing a helper
+}
+
+func (w *hotpathWalker) reportf(node ast.Node, format string, args ...interface{}) {
+	if w.reported[node.Pos()] || w.sup.suppressed(node.Pos()) {
+		return
+	}
+	w.reported[node.Pos()] = true
+	w.sup.reportf(node, format, args...)
+}
+
+// walk checks one function body and recurses into unexported same-package
+// callees. via names the call chain from the root for diagnostics.
+func (w *hotpathWalker) walk(decl *ast.FuncDecl, via string) {
+	if w.visited[decl] {
+		return
+	}
+	w.visited[decl] = true
+
+	sig, _ := w.pass.TypesInfo.Defs[decl.Name].Type().(*types.Signature)
+	w.checkBody(decl.Body, sig, via)
+}
+
+func (w *hotpathWalker) checkBody(body *ast.BlockStmt, sig *types.Signature, via string) {
+	// Track the innermost function signature for return-statement boxing
+	// checks; nested literals swap it in.
+	var inspect func(n ast.Node, sig *types.Signature)
+	inspect = func(n ast.Node, sig *types.Signature) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				lsig, _ := w.pass.TypesInfo.TypeOf(n.Type).(*types.Signature)
+				inspect(n.Body, lsig)
+				return false
+			case *ast.CallExpr:
+				w.checkCall(n, via)
+			case *ast.CompositeLit:
+				w.checkCompositeLit(n, via)
+			case *ast.AssignStmt:
+				w.checkAssignBoxing(n, via)
+			case *ast.ReturnStmt:
+				w.checkReturnBoxing(n, sig, via)
+			case *ast.SendStmt:
+				if ch, ok := w.pass.TypesInfo.TypeOf(n.Chan).(*types.Chan); ok {
+					w.checkBoxedExpr(n.Value, ch.Elem(), via)
+				}
+			}
+			return true
+		})
+	}
+	inspect(body, sig)
+}
+
+func (w *hotpathWalker) checkCall(call *ast.CallExpr, via string) {
+	// Type conversions: flag concrete non-pointer -> interface.
+	if tv, ok := w.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			w.checkBoxedExpr(call.Args[0], tv.Type, via)
+		}
+		return
+	}
+
+	callee := typeutil.Callee(w.pass.TypesInfo, call)
+	if b, ok := callee.(*types.Builtin); ok {
+		if b.Name() == "make" && len(call.Args) > 0 {
+			switch w.pass.TypesInfo.TypeOf(call.Args[0]).Underlying().(type) {
+			case *types.Map:
+				w.reportf(call, "hotpath %s: %s allocates a map with make on the fast path", w.root, via)
+			case *types.Slice:
+				w.reportf(call, "hotpath %s: %s allocates a slice with make on the fast path", w.root, via)
+			}
+		}
+		return
+	}
+	if fn, ok := callee.(*types.Func); ok {
+		full := fn.FullName()
+		switch full {
+		case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock", "(sync.Locker).Lock":
+			w.reportf(call, "hotpath %s: %s takes %s on the fast path (the fan-out/encode hot paths must never take a lock)", w.root, via, full)
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			w.reportf(call, "hotpath %s: %s calls fmt.%s on the fast path (fmt formats through reflection and allocates)", w.root, via, fn.Name())
+		}
+
+		// Boxing at the call boundary.
+		if sig, ok := fn.Type().(*types.Signature); ok {
+			w.checkCallArgBoxing(call, sig, via)
+		}
+
+		// Transitive walk into unexported same-package helpers, unless
+		// the call site is an ignored (declared slow path) edge.
+		if fn.Pkg() == w.pass.Pkg && !fn.Exported() && !w.sup.suppressed(call.Pos()) {
+			if decl, ok := w.decls[fn]; ok {
+				w.walkCallee(decl, fn, via)
+			}
+		}
+		return
+	}
+
+	// Function values and interface methods cannot be resolved; check
+	// boxing against their signature when available.
+	if sig, ok := w.pass.TypesInfo.TypeOf(call.Fun).(*types.Signature); ok {
+		w.checkCallArgBoxing(call, sig, via)
+	}
+}
+
+func (w *hotpathWalker) walkCallee(decl *ast.FuncDecl, fn *types.Func, via string) {
+	if w.visited[decl] {
+		return
+	}
+	w.visited[decl] = true
+	sig, _ := fn.Type().(*types.Signature)
+	w.checkBody(decl.Body, sig, via+" -> "+funcLabel(fn))
+}
+
+func (w *hotpathWalker) checkCompositeLit(lit *ast.CompositeLit, via string) {
+	t := w.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		w.reportf(lit, "hotpath %s: %s allocates a map literal on the fast path", w.root, via)
+	case *types.Slice:
+		w.reportf(lit, "hotpath %s: %s allocates a slice literal on the fast path", w.root, via)
+	}
+}
+
+// checkCallArgBoxing flags concrete non-pointer arguments passed to
+// interface-typed parameters, the implicit conversions that allocate on
+// the hot path. make/len-style builtins have no *types.Signature and
+// never reach here.
+func (w *hotpathWalker) checkCallArgBoxing(call *ast.CallExpr, sig *types.Signature, via string) {
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				// Passing a slice through ... is not a per-element box.
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type()
+			if s, ok := pt.Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		w.checkBoxedExpr(arg, pt, via)
+	}
+}
+
+func (w *hotpathWalker) checkAssignBoxing(assign *ast.AssignStmt, via string) {
+	if assign.Tok != token.ASSIGN || len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		lt := w.pass.TypesInfo.TypeOf(assign.Lhs[i])
+		if lt != nil {
+			w.checkBoxedExpr(rhs, lt, via)
+		}
+	}
+}
+
+func (w *hotpathWalker) checkReturnBoxing(ret *ast.ReturnStmt, sig *types.Signature, via string) {
+	if sig == nil || sig.Results() == nil || len(ret.Results) != sig.Results().Len() {
+		return
+	}
+	for i, res := range ret.Results {
+		w.checkBoxedExpr(res, sig.Results().At(i).Type(), via)
+	}
+}
+
+// checkBoxedExpr reports expr when assigning it to target boxes a
+// concrete non-pointer value into an interface. Pointers, existing
+// interface values and nil convert without allocating and are exempt.
+func (w *hotpathWalker) checkBoxedExpr(expr ast.Expr, target types.Type, via string) {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return
+	}
+	tv, ok := w.pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	src := types.Unalias(tv.Type)
+	if types.IsInterface(src.Underlying()) {
+		return
+	}
+	if _, isPtr := src.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	w.reportf(expr, "hotpath %s: %s boxes a %s into %s on the fast path (interface conversion of a non-pointer value allocates)", w.root, via, tv.Type.String(), target.String())
+}

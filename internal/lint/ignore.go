@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// ignorePrefix is the suppression directive. The syntax follows the
+// staticcheck convention:
+//
+//	//lint:ignore analyzer1[,analyzer2] reason text
+//
+// The comment suppresses the named analyzers' diagnostics on the line
+// immediately below it (for a standalone comment) or on its own line (for
+// an end-of-line comment). The reason is mandatory: an ignore that names
+// an analyzer but carries no justification is reported by that analyzer
+// instead of being honoured.
+const ignorePrefix = "//lint:ignore"
+
+// suppressor implements //lint:ignore handling for one analyzer over one
+// pass. It wraps pass.Report with a per-line suppression check and
+// reports malformed ignores that name the analyzer.
+type suppressor struct {
+	pass  *analysis.Pass
+	lines map[string]map[int]bool // filename -> suppressed line numbers
+}
+
+func newSuppressor(pass *analysis.Pass, analyzer string) *suppressor {
+	s := &suppressor{pass: pass, lines: make(map[string]map[int]bool)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, reason, ok := parseIgnore(c.Text)
+				if !ok || !nameListed(names, analyzer) {
+					continue
+				}
+				if reason == "" {
+					pass.Reportf(c.Pos(), "malformed //lint:ignore comment: missing justification after the analyzer list")
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				m := s.lines[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					s.lines[pos.Filename] = m
+				}
+				// Suppress both the comment's own line (end-of-line
+				// style) and the next line (standalone style); a
+				// standalone comment line produces no diagnostics of its
+				// own, so the union is unambiguous.
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return s
+}
+
+// parseIgnore splits a //lint:ignore comment into its analyzer list and
+// justification. ok is false for comments that are not ignore directives
+// at all.
+func parseIgnore(text string) (names []string, reason string, ok bool) {
+	if !strings.HasPrefix(text, ignorePrefix) {
+		return nil, "", false
+	}
+	rest := text[len(ignorePrefix):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, "", false
+	}
+	rest = strings.TrimSpace(rest)
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, "", true
+	}
+	names = strings.Split(fields[0], ",")
+	reason = strings.TrimSpace(rest[len(fields[0]):])
+	return names, reason, true
+}
+
+func nameListed(names []string, analyzer string) bool {
+	for _, n := range names {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressed reports whether diagnostics at pos are ignored.
+func (s *suppressor) suppressed(pos token.Pos) bool {
+	p := s.pass.Fset.Position(pos)
+	return s.lines[p.Filename][p.Line]
+}
+
+// reportf reports a diagnostic at node unless an ignore covers its line.
+func (s *suppressor) reportf(node ast.Node, format string, args ...interface{}) {
+	if s.suppressed(node.Pos()) {
+		return
+	}
+	s.pass.Reportf(node.Pos(), format, args...)
+}

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text   string
+		names  []string
+		reason string
+		ok     bool
+	}{
+		{"//lint:ignore hotpathlock slow path", []string{"hotpathlock"}, "slow path", true},
+		{"//lint:ignore noretain,frozenmutate shared fixture", []string{"noretain", "frozenmutate"}, "shared fixture", true},
+		{"//lint:ignore hotpathlock", []string{"hotpathlock"}, "", true},
+		{"//lint:ignore", nil, "", true},
+		{"//lint:ignoreXYZ not a directive", nil, "", false},
+		{"// ordinary comment", nil, "", false},
+	}
+	for _, c := range cases {
+		names, reason, ok := parseIgnore(c.text)
+		if ok != c.ok || reason != c.reason || strings.Join(names, ",") != strings.Join(c.names, ",") {
+			t.Errorf("parseIgnore(%q) = %v, %q, %v; want %v, %q, %v",
+				c.text, names, reason, ok, c.names, c.reason, c.ok)
+		}
+	}
+}
+
+// suppressorFor parses src and builds a suppressor for the named
+// analyzer, collecting any diagnostics the construction itself reports.
+func suppressorFor(t *testing.T, src, analyzer string) (*suppressor, []analysis.Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Fset:   fset,
+		Files:  []*ast.File{f},
+		Report: func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	return newSuppressor(pass, analyzer), diags
+}
+
+func TestMalformedIgnoreReported(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t//lint:ignore noretain\n\t_ = 0\n}\n"
+	_, diags := suppressorFor(t, src, "noretain")
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "missing justification") {
+		t.Fatalf("want one missing-justification diagnostic, got %v", diags)
+	}
+}
+
+func TestIgnoreOtherAnalyzerNotReportedOrSuppressed(t *testing.T) {
+	// A directive naming only another analyzer neither suppresses this
+	// one nor triggers the malformed check, even without a reason.
+	src := "package p\n\nfunc f() {\n\t//lint:ignore hotpathlock\n\t_ = 0\n}\n"
+	s, diags := suppressorFor(t, src, "noretain")
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	if len(s.lines) != 0 {
+		t.Fatalf("suppressor recorded lines for a foreign directive: %v", s.lines)
+	}
+}
+
+func TestSuppressedCoversCommentAndNextLine(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t//lint:ignore noretain fixture\n\t_ = 0\n\t_ = 1\n}\n"
+	s, diags := suppressorFor(t, src, "noretain")
+	if len(diags) != 0 {
+		t.Fatalf("unexpected diagnostics: %v", diags)
+	}
+	file := s.pass.Fset.File(s.pass.Files[0].Pos())
+	// Line 4 holds the comment, line 5 the statement below it.
+	if !s.suppressed(file.LineStart(4)) || !s.suppressed(file.LineStart(5)) {
+		t.Error("lines 4-5 should be suppressed")
+	}
+	if s.suppressed(file.LineStart(6)) {
+		t.Error("line 6 should not be suppressed")
+	}
+}

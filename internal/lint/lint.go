@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzers returns the full safeweb-vet suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		FrozenMutate,
+		NoRetain,
+		PolicyGen,
+		HotPathLock,
+	}
+}
+
+// Package-path suffixes identifying the safeweb packages whose types the
+// analyzers key on. Matching by suffix (rather than the literal module
+// path) keeps the analyzers working on analysistest testdata packages,
+// which mirror the real import paths under testdata/src.
+const (
+	eventPkg  = "internal/event"
+	stompPkg  = "internal/stomp"
+	enginePkg = "internal/engine"
+	brokerPkg = "internal/broker"
+)
+
+func pkgPathMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// namedType unwraps aliases and at most one pointer and returns the named
+// type beneath, if any.
+func namedType(t types.Type) (*types.Named, bool) {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+// isPkgType reports whether t is (a pointer to) the named type name
+// defined in a package whose import path ends in pkgSuffix.
+func isPkgType(t types.Type, pkgSuffix, name string) bool {
+	n, ok := namedType(t)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return pkgPathMatches(obj.Pkg().Path(), pkgSuffix)
+}
+
+// isPtrToPkgType is isPkgType restricted to pointer values.
+func isPtrToPkgType(t types.Type, pkgSuffix, name string) bool {
+	if _, ok := types.Unalias(t).(*types.Pointer); !ok {
+		return false
+	}
+	return isPkgType(t, pkgSuffix, name)
+}
+
+// methodCall resolves a call of the form x.M(...) to its method object
+// and receiver type. It returns nil for anything else (package functions,
+// function values, conversions, builtins).
+func methodCall(info *types.Info, call *ast.CallExpr) (*types.Func, types.Type) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, nil
+	}
+	return fn, sig.Recv().Type()
+}
+
+// funcBodies maps every function and method declared in the package to
+// its declaration, for transitive walks.
+func funcBodies(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}

@@ -1,0 +1,41 @@
+package lint_test
+
+import (
+	"testing"
+
+	"safeweb/internal/lint"
+	"safeweb/internal/lint/linttest"
+)
+
+func TestFrozenMutate(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.FrozenMutate, "frozenmutate/a")
+}
+
+func TestNoRetain(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.NoRetain, "noretain/a")
+}
+
+func TestPolicyGen(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.PolicyGen,
+		"policygen/a", "policygen/missing", "policygen/other")
+}
+
+func TestHotPathLock(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.HotPathLock, "hotpathlock/a")
+}
+
+func TestAnalyzerNamesStable(t *testing.T) {
+	want := []string{"frozenmutate", "noretain", "policygen", "hotpathlock"}
+	got := lint.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package linttest runs the safeweb-vet analyzers over analysistest-style
+// testdata packages and checks their diagnostics against // want
+// comments.
+//
+// It mirrors the contract of golang.org/x/tools/go/analysis/analysistest:
+// testdata is a GOPATH-shaped tree (testdata/src/<importpath>/*.go), every
+// line that should produce a diagnostic carries a trailing
+// `// want "regexp"` comment (several quoted or backquoted regexps for
+// several diagnostics), unexpected diagnostics fail the test and so do
+// unmatched expectations. The real analysistest depends on
+// golang.org/x/tools/go/packages, which needs the network-backed go
+// command driver; this harness instead loads the testdata with the
+// standard library's go/parser and go/types and a source importer rooted
+// at testdata/src, which keeps the analyzer tests hermetic.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// TestData returns the canonical testdata directory for the calling
+// package, mirroring analysistest.TestData.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run analyzes each named package under testdata/src with a and compares
+// the diagnostics against the packages' // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := newLoader(testdata)
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Errorf("%s: load: %v", path, err)
+			continue
+		}
+		diags := runAnalyzer(t, ld.fset, a, pkg)
+		checkWants(t, ld.fset, pkg, diags)
+	}
+}
+
+// loadedPkg is one typechecked testdata package.
+type loadedPkg struct {
+	path  string
+	files []*ast.File
+	tpkg  *types.Package
+	info  *types.Info
+}
+
+type loader struct {
+	root  string // testdata/src
+	fset  *token.FileSet
+	cache map[string]*loadedPkg
+	std   types.Importer
+}
+
+func newLoader(testdata string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		root:  filepath.Join(testdata, "src"),
+		fset:  fset,
+		cache: map[string]*loadedPkg{},
+		std:   importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if pkg, ok := l.cache[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return pkg, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = nil // cycle guard
+
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		if sub, err := l.load(ipath); err == nil {
+			return sub.tpkg, nil
+		} else if !os.IsNotExist(err) {
+			return nil, err
+		}
+		return l.std.Import(ipath)
+	})}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &loadedPkg{path: path, files: files, tpkg: tpkg, info: info}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// runAnalyzer builds an analysis.Pass over pkg (running Requires
+// dependencies first) and returns the diagnostics.
+func runAnalyzer(t *testing.T, fset *token.FileSet, a *analysis.Analyzer, pkg *loadedPkg) []analysis.Diagnostic {
+	t.Helper()
+	results := map[*analysis.Analyzer]interface{}{}
+	for _, req := range a.Requires {
+		switch req {
+		case inspect.Analyzer:
+			results[req] = inspector.New(pkg.files)
+		default:
+			t.Fatalf("linttest: analyzer %s requires unsupported dependency %s", a.Name, req.Name)
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      pkg.files,
+		Pkg:        pkg.tpkg,
+		TypesInfo:  pkg.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   results,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+		ReadFile:   os.ReadFile,
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Errorf("%s: analyzer error: %v", pkg.path, err)
+	}
+	return diags
+}
+
+// expectation is one // want entry.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// checkWants compares diagnostics to the // want comments in pkg.
+func checkWants(t *testing.T, fset *token.FileSet, pkg *loadedPkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range parseWantPatterns(t, pos, m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseWantPatterns splits the text after `want` into its quoted or
+// backquoted regexp literals.
+func parseWantPatterns(t *testing.T, pos token.Position, text string) []string {
+	t.Helper()
+	var pats []string
+	rest := strings.TrimSpace(text)
+	for rest != "" {
+		switch rest[0] {
+		case '"':
+			end := 1
+			for end < len(rest) {
+				if rest[end] == '\\' {
+					end += 2
+					continue
+				}
+				if rest[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(rest) {
+				t.Errorf("%s: unterminated want pattern: %s", pos, rest)
+				return pats
+			}
+			s, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				t.Errorf("%s: bad want pattern %s: %v", pos, rest[:end+1], err)
+				return pats
+			}
+			pats = append(pats, s)
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Errorf("%s: unterminated want pattern: %s", pos, rest)
+				return pats
+			}
+			pats = append(pats, rest[1:end+1])
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			t.Errorf("%s: unexpected want syntax: %s", pos, rest)
+			return pats
+		}
+	}
+	return pats
+}

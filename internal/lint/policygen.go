@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// PolicyGen is the compile-time form of the label package's reflection
+// tests TestPolicyMethodsClassified and TestPolicyMutatorsBumpGeneration:
+// in a package declaring the Policy type (a struct with a gen generation
+// counter), every exported Policy method must appear in exactly one of
+// the shared policyMutators/policyReaders classification maps; every
+// classified mutator must bump the generation (a gen.Add call in its body
+// or transitively in an unexported same-package callee); no classified
+// reader may touch it; and classification entries for methods that no
+// longer exist are stale.
+var PolicyGen = &analysis.Analyzer{
+	Name: "policygen",
+	Doc:  "verify every exported label.Policy mutator bumps the generation counter and that all methods are classified",
+	Run:  runPolicyGen,
+}
+
+func runPolicyGen(pass *analysis.Pass) (interface{}, error) {
+	sup := newSuppressor(pass, "policygen")
+
+	policy := policyType(pass)
+	if policy == nil {
+		return nil, nil // not a policy-bearing package
+	}
+
+	mutators, mutatorsNode := classificationMap(pass, "policyMutators")
+	readers, readersNode := classificationMap(pass, "policyReaders")
+	if mutatorsNode == nil || readersNode == nil {
+		sup.reportf(policyDeclNode(pass, policy), "package declares a generation-counted Policy but no policyMutators/policyReaders classification maps; every exported Policy method must be classified so the cached-clearance invariant stays enforceable")
+		return nil, nil
+	}
+
+	decls := funcBodies(pass)
+	methods := make(map[string]*ast.FuncDecl)
+	for fn, decl := range decls {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if n, ok := namedType(sig.Recv().Type()); ok && n.Obj() == policy {
+				methods[fn.Name()] = decl
+			}
+		}
+	}
+
+	for name, decl := range methods {
+		if !ast.IsExported(name) {
+			continue
+		}
+		inMut, inRead := mutators[name], readers[name]
+		switch {
+		case inMut && inRead:
+			sup.reportf(decl.Name, "Policy.%s is classified as both mutator and reader; it must be exactly one", name)
+		case !inMut && !inRead:
+			sup.reportf(decl.Name, "exported Policy method %s is not classified in policyMutators or policyReaders (mutators MUST bump the generation counter or cached clearance goes stale)", name)
+		case inMut:
+			if !bumpsGeneration(pass, decls, decl, make(map[*ast.FuncDecl]bool)) {
+				sup.reportf(decl.Name, "Policy.%s is classified as a mutator but never bumps the generation counter (gen.Add); cached clearance would go stale", name)
+			}
+		case inRead:
+			if bumpsGeneration(pass, decls, decl, make(map[*ast.FuncDecl]bool)) {
+				sup.reportf(decl.Name, "Policy.%s is classified as a reader but bumps the generation counter; classify it as a mutator", name)
+			}
+		}
+	}
+
+	reportStale := func(m map[string]bool, node *ast.CompositeLit, list string) {
+		for _, elt := range node.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			name, ok := stringKey(kv.Key)
+			if !ok {
+				continue
+			}
+			if _, exists := methods[name]; !exists {
+				sup.reportf(kv.Key, "%s classifies %s, but Policy has no such method; remove the stale entry", list, name)
+			}
+		}
+	}
+	reportStale(mutators, mutatorsNode, "policyMutators")
+	reportStale(readers, readersNode, "policyReaders")
+
+	return nil, nil
+}
+
+// policyType finds a package-level struct type named Policy carrying a
+// gen field — the generation-counted policy the analyzer enforces. Other
+// packages' unrelated Policy types (no counter) are left alone.
+func policyType(pass *analysis.Pass) *types.TypeName {
+	obj, ok := pass.Pkg.Scope().Lookup("Policy").(*types.TypeName)
+	if !ok || obj.IsAlias() {
+		// Aliases (the safeweb facade re-exports label.Policy) are the
+		// declaring package's responsibility, not this one's.
+		return nil
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "gen" {
+			return obj
+		}
+	}
+	return nil
+}
+
+// policyDeclNode locates the Policy type declaration for reporting.
+func policyDeclNode(pass *analysis.Pass, policy *types.TypeName) ast.Node {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && pass.TypesInfo.Defs[ts.Name] == policy {
+					return ts.Name
+				}
+			}
+		}
+	}
+	return pass.Files[0]
+}
+
+// classificationMap reads a package-level map[string]bool var of the
+// given name declared as a composite literal, returning the set of names
+// mapped to true and the literal node.
+func classificationMap(pass *analysis.Pass, name string) (map[string]bool, *ast.CompositeLit) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					if id.Name != name || i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					out := make(map[string]bool)
+					for _, elt := range lit.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if key, ok := stringKey(kv.Key); ok {
+							if v, ok := kv.Value.(*ast.Ident); ok && v.Name == "true" {
+								out[key] = true
+							}
+						}
+					}
+					return out, lit
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+func stringKey(expr ast.Expr) (string, bool) {
+	lit, ok := expr.(*ast.BasicLit)
+	if !ok {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// bumpsGeneration reports whether decl's body contains a generation bump
+// (a call of the form <expr>.gen.Add(...)), directly or transitively
+// through unexported same-package callees.
+func bumpsGeneration(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl, decl *ast.FuncDecl, visited map[*ast.FuncDecl]bool) bool {
+	if visited[decl] {
+		return false
+	}
+	visited[decl] = true
+
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isGenAdd(call) {
+			found = true
+			return false
+		}
+		if fn, ok := calleeFunc(pass, call); ok && fn.Pkg() == pass.Pkg && !fn.Exported() {
+			if callee, ok := decls[fn]; ok && bumpsGeneration(pass, decls, callee, visited) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isGenAdd matches <expr>.gen.Add(...): an Add call on a field named gen.
+func isGenAdd(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Add" {
+		return false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	return ok && inner.Sel.Name == "gen"
+}
+
+// calleeFunc resolves a call to a statically-known function or method.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, ok := pass.TypesInfo.ObjectOf(fun).(*types.Func)
+		return fn, ok
+	case *ast.SelectorExpr:
+		fn, ok := pass.TypesInfo.ObjectOf(fun.Sel).(*types.Func)
+		return fn, ok
+	}
+	return nil, false
+}

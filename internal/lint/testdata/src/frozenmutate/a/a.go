@@ -1,0 +1,88 @@
+// Test cases for the frozenmutate analyzer.
+package a
+
+import (
+	"safeweb/internal/broker"
+	"safeweb/internal/event"
+)
+
+func mutateAfterPublish(b *broker.Broker, ev *event.Event) {
+	ev.Set("k", "v") // ok: not yet frozen
+	b.Publish(ev)
+	ev.Set("k2", "v2")  // want `event ev mutated by Set after it was frozen by publish`
+	ev.Topic = "t"      // want `event ev field Topic written after it was frozen by publish`
+	ev.Attrs["k"] = "v" // want `event ev attribute map entry written after it was frozen by publish`
+}
+
+func mutateAfterClientPublish(c *broker.Client, ev *event.Event) {
+	c.Publish(ev)
+	ev.Set("k", "v") // want `event ev mutated by Set after it was frozen by publish`
+}
+
+func mutateAfterFreeze(ev *event.Event) {
+	ev.Freeze()
+	ev.Set("k", "v") // want `event ev mutated by Set after it was frozen by publish`
+}
+
+func cloneAfterPublish(b *broker.Broker, ev *event.Event) {
+	b.Publish(ev)
+	cp := ev.Clone()
+	cp.Set("k", "v") // ok: the clone is a fresh draft
+	_ = ev.Get("k")  // ok: reads stay legal after freeze
+}
+
+func otherEventUnaffected(b *broker.Broker, ev, other *event.Event) {
+	b.Publish(ev)
+	other.Set("k", "v") // ok: only ev is frozen
+}
+
+func reassignedAfterPublish(b *broker.Broker, ev *event.Event) {
+	b.Publish(ev)
+	ev = event.New("/t", nil)
+	ev.Set("k", "v") // ok: the name was rebound to a fresh draft
+	b.Publish(ev)
+	ev.Set("k2", "v") // want `event ev mutated by Set after it was frozen by publish`
+}
+
+func suppressedMutation(b *broker.Broker, ev *event.Event) {
+	b.Publish(ev)
+	//lint:ignore frozenmutate test fixture intentionally writes through the frozen image
+	ev.Set("k", "v")
+}
+
+func handlers(b *broker.Broker) {
+	b.SubscribeWire("t", func(ev *event.Event, img []byte) {
+		ev.Set("k", "v") // want `SubscribeWire handler mutated by Set event ev`
+		_ = img
+	})
+	b.SubscribeTap("t", func(ev *event.Event) {
+		ev.Topic = "x" // want `SubscribeTap handler field Topic written event ev`
+	})
+	b.SubscribeTap("t", func(ev *event.Event) {
+		ev.Attrs["k"] = "v" // want `SubscribeTap handler attribute map entry written event ev`
+	})
+	b.Subscribe("t", func(ev *event.Event) {
+		ev.Set("k", "v") // ok: plain Subscribe delivers a private pooled copy
+	})
+	b.SubscribeTap("t", func(ev *event.Event) {
+		cp := ev.Clone()
+		cp.Set("k", "v") // ok: handler cloned before mutating
+	})
+}
+
+func suppressedHandler(b *broker.Broker) {
+	b.SubscribeWire("t", func(ev *event.Event, img []byte) {
+		//lint:ignore frozenmutate exercising the broker's tamper detection
+		ev.Set("k", "v")
+	})
+}
+
+// A callback literal defined after a publish is its own scope: the
+// publish in the enclosing function must not freeze the literal's
+// parameter of the same name.
+func literalScopes(b *broker.Broker, ev *event.Event, register func(func(ev *event.Event))) {
+	b.Publish(ev)
+	register(func(ev *event.Event) {
+		ev.Set("k", "v") // ok: different ev, unfrozen scope
+	})
+}

@@ -1,0 +1,118 @@
+// Test cases for the hotpathlock analyzer.
+package a
+
+import (
+	"fmt"
+	"sync"
+)
+
+type table struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+type rwtable struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+//safeweb:hotpath
+func deliver(t *table, k string) int {
+	t.mu.Lock() // want `hotpath deliver: deliver takes \(\*sync\.Mutex\)\.Lock on the fast path`
+	defer t.mu.Unlock()
+	return t.m[k]
+}
+
+//safeweb:hotpath
+func loadRoute(t *rwtable, k string) int {
+	t.mu.RLock() // want `hotpath loadRoute: loadRoute takes \(\*sync\.RWMutex\)\.RLock on the fast path`
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+//safeweb:hotpath
+func encode(buf []byte, n int) []byte {
+	m := map[string]int{} // want `hotpath encode: encode allocates a map literal on the fast path`
+	_ = m
+	s := make([]byte, n) // want `hotpath encode: encode allocates a slice with make on the fast path`
+	_ = s
+	extra := []int{1, 2} // want `hotpath encode: encode allocates a slice literal on the fast path`
+	_ = extra
+	fmt.Println() // want `hotpath encode: encode calls fmt.Println on the fast path`
+	return buf
+}
+
+//safeweb:hotpath
+func box(v int) interface{} {
+	return v // want `hotpath box: box boxes a int into interface\{\} on the fast path`
+}
+
+//safeweb:hotpath
+func boxArg(v int) {
+	sinkIface(v) // want `boxes a int into interface\{\} on the fast path`
+}
+
+func sinkIface(x interface{}) {}
+
+//safeweb:hotpath
+func boxAssign(v int, dst *holder) {
+	dst.x = v // want `boxes a int into interface\{\} on the fast path`
+}
+
+type holder struct{ x interface{} }
+
+// Transitive enforcement: helpers reached from a hot root are checked
+// with the call chain in the diagnostic.
+//
+//safeweb:hotpath
+func claim(t *table) {
+	helper(t)
+}
+
+func helper(t *table) {
+	t.mu.Lock() // want `hotpath claim: claim -> helper takes \(\*sync\.Mutex\)\.Lock on the fast path`
+	t.mu.Unlock()
+}
+
+// An ignored call edge is a declared slow path: the walk stops there.
+//
+//safeweb:hotpath
+func claimOrPark(t *table) {
+	//lint:ignore hotpathlock parks on the slow path only after credit is exhausted
+	park(t)
+}
+
+func park(t *table) {
+	t.mu.Lock() // ok: reached only through a declared slow-path edge
+	t.mu.Unlock()
+}
+
+// A statement-level ignore suppresses the diagnostic in place.
+//
+//safeweb:hotpath
+func measuredCold(t *table) {
+	//lint:ignore hotpathlock startup-only branch, measured cold
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+// Unannotated functions are free to lock and allocate.
+func coldPath(t *table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m = map[string]int{}
+	fmt.Println("cold")
+}
+
+// Negative cases on the hot path.
+//
+//safeweb:hotpath
+func cleanFast(t *table, k string, dst *holder, p *point) point {
+	v := t.m[k]        // ok: map read takes no lock
+	dst.x = p          // ok: pointer into interface does not allocate
+	var err error      // ok: nil interface value
+	dst.x = err        // ok: interface-to-interface copy
+	return point{v, v} // ok: struct literal, not map/slice
+}
+
+type point struct{ x, y int }

@@ -1,0 +1,58 @@
+// Test cases for the policygen analyzer: a generation-counted Policy
+// with classification maps.
+package a
+
+import "sync/atomic"
+
+type Policy struct {
+	gen atomic.Uint64
+	m   map[string]bool
+}
+
+var policyMutators = map[string]bool{
+	"Grant":      true,
+	"Revoke":     true,
+	"BadMutator": true,
+	"Both":       true,
+	"Stale":      true, // want `policyMutators classifies Stale, but Policy has no such method`
+}
+
+var policyReaders = map[string]bool{
+	"Generation": true,
+	"BadReader":  true,
+	"Both":       true,
+}
+
+func (p *Policy) Grant(k string) { // ok: classified mutator, bumps directly
+	p.m[k] = true
+	p.gen.Add(1)
+}
+
+func (p *Policy) Revoke(k string) { // ok: classified mutator, bumps via helper
+	p.remove(k)
+}
+
+func (p *Policy) remove(k string) { // unexported: exempt from classification
+	delete(p.m, k)
+	p.gen.Add(1)
+}
+
+func (p *Policy) BadMutator(k string) { // want `Policy.BadMutator is classified as a mutator but never bumps the generation counter`
+	p.m[k] = true
+}
+
+func (p *Policy) Generation() uint64 { // ok: classified reader, no bump
+	return p.gen.Load()
+}
+
+func (p *Policy) BadReader() int { // want `Policy.BadReader is classified as a reader but bumps the generation counter`
+	p.gen.Add(1)
+	return len(p.m)
+}
+
+func (p *Policy) Both() {} // want `Policy.Both is classified as both mutator and reader`
+
+func (p *Policy) Unclassified() {} // want `exported Policy method Unclassified is not classified`
+
+//lint:ignore policygen transitional shim, classified in the next migration step
+func (p *Policy) LegacyShim() {}

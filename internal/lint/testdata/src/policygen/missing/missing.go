@@ -1,0 +1,10 @@
+// A generation-counted Policy with no classification maps at all.
+package missing
+
+import "sync/atomic"
+
+type Policy struct { // want `no policyMutators/policyReaders classification maps`
+	gen atomic.Uint64
+}
+
+func (p *Policy) Touch() { p.gen.Add(1) }

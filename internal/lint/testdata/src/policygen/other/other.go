@@ -1,0 +1,7 @@
+// A Policy type with no generation counter: not the analyzer's target.
+package other
+
+type Policy struct{ name string }
+
+func (p *Policy) SetName(n string) { p.name = n }
+func (p *Policy) Name() string     { return p.name }

@@ -1,0 +1,17 @@
+// Package broker is a testdata stub mirroring safeweb/internal/broker.
+package broker
+
+import "safeweb/internal/event"
+
+type Broker struct{}
+
+func (b *Broker) Publish(ev *event.Event) error                          { return nil }
+func (b *Broker) Subscribe(topic string, fn func(ev *event.Event)) error { return nil }
+func (b *Broker) SubscribeWire(topic string, fn func(ev *event.Event, img []byte)) error {
+	return nil
+}
+func (b *Broker) SubscribeTap(topic string, fn func(ev *event.Event)) error { return nil }
+
+type Client struct{}
+
+func (c *Client) Publish(ev *event.Event) error { return nil }

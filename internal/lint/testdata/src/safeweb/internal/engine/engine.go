@@ -1,0 +1,14 @@
+// Package engine is a testdata stub mirroring safeweb/internal/engine.
+package engine
+
+import "safeweb/internal/event"
+
+// Context is pooled and reset between callbacks in the real package.
+type Context struct{ seq uint64 }
+
+func (c *Context) Publish(topic string, attrs map[string]string, body []byte) error { return nil }
+
+// InitContext registers subscriptions during app init.
+type InitContext struct{}
+
+func (c *InitContext) Subscribe(topic string, fn func(ctx *Context, ev *event.Event) error) {}

@@ -1,0 +1,13 @@
+// Package stomp is a testdata stub mirroring safeweb/internal/stomp.
+package stomp
+
+// FrameView aliases the decoder's scratch buffer in the real package.
+type FrameView struct {
+	Op   string
+	Body []byte
+}
+
+// HeaderView aliases the decoder's scratch buffer in the real package.
+type HeaderView struct {
+	Key, Val []byte
+}

@@ -156,6 +156,8 @@ func imageSizeHint(headers map[string]string, body []byte) int {
 // Only the routing headers are encoded per delivery; the shared image is
 // written as-is, so a fan-out burst pays the header/body marshalling cost
 // once per published event rather than once per session.
+//
+//safeweb:hotpath
 func (e *Encoder) EncodeImage(w io.Writer, img *WireImage, subscription, idPrefix string, seq uint64) error {
 	if _, err := w.Write(img.Prefix()); err != nil {
 		return err
@@ -185,6 +187,8 @@ func (e *Encoder) EncodeImage(w io.Writer, img *WireImage, subscription, idPrefi
 // HdrDeliveryOffset so a durable consumer can ack cumulative progress.
 // As with EncodeImage only the spliced headers are encoded per delivery;
 // the stored image bytes are written as-is.
+//
+//safeweb:hotpath
 func (e *Encoder) EncodeImageOffset(w io.Writer, img *WireImage, subscription, idPrefix string, seq uint64, offset int64) error {
 	if _, err := w.Write(img.Prefix()); err != nil {
 		return err
@@ -220,6 +224,8 @@ func (e *Encoder) EncodeImageOffset(w io.Writer, img *WireImage, subscription, i
 // its header map — the producer fast path changes where the bytes come
 // from, never what is on the wire. A receipt-free send writes the shared
 // image in a single Write.
+//
+//safeweb:hotpath
 func (e *Encoder) EncodeSendImage(w io.Writer, img *WireImage, receipt string) error {
 	if receipt == "" {
 		_, err := w.Write(img.buf)
