@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"safeweb/internal/broker"
+	"safeweb/internal/journal"
 	"safeweb/internal/maindb"
 	"safeweb/internal/mdt"
 )
@@ -44,6 +45,12 @@ func main() {
 		"comma-separated topic patterns the broker journals for replay and resume (with -network-broker; requires -journal-dir)")
 	journalDir := flag.String("journal-dir", "",
 		"directory for the durable topic journals (with -durable)")
+	retentionAge := flag.Duration("journal-retention-age", 0,
+		"delete journal segments whose newest record is older than this (with -durable; 0 = unbounded)")
+	retentionBytes := flag.Int64("journal-retention-bytes", 0,
+		"per-topic journal byte budget, oldest segments deleted first (with -durable; 0 = unbounded)")
+	journalSync := flag.String("journal-sync", "never",
+		"journal fsync policy (with -durable): never, batch or always")
 	importEvery := flag.Duration("import-every", 0, "periodic re-import interval (0 = import once)")
 	flag.Parse()
 
@@ -52,34 +59,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mdt-portal:", err)
 		os.Exit(2)
 	}
+	syncPolicy, err := journal.ParseSyncPolicy(*journalSync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdt-portal:", err)
+		os.Exit(2)
+	}
 	var durableTopics []string
 	if *durable != "" {
 		durableTopics = strings.Split(*durable, ",")
 	}
-	if err := run(*httpAddr, *patients, *seed, *password, *networkBroker, *publishWindow,
-		policy, *writeQueue, *writeTimeout, *subscribeCredit, durableTopics, *journalDir,
-		*importEvery); err != nil {
+	cfg := mdt.DeployConfig{
+		Registry:              maindb.Config{Seed: *seed, Patients: *patients},
+		Password:              *password,
+		NetworkBroker:         *networkBroker,
+		PublishWindow:         *publishWindow,
+		Overflow:              policy,
+		WriteQueueLen:         *writeQueue,
+		WriteTimeout:          *writeTimeout,
+		SubscribeCredit:       *subscribeCredit,
+		Durable:               durableTopics,
+		JournalDir:            *journalDir,
+		JournalRetentionAge:   *retentionAge,
+		JournalRetentionBytes: *retentionBytes,
+		JournalSync:           syncPolicy,
+		Logf:                  log.Printf,
+	}
+	if err := run(cfg, *httpAddr, *patients, *importEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "mdt-portal:", err)
 		os.Exit(1)
 	}
 }
 
-func run(httpAddr string, patients int, seed int64, password string, networkBroker bool, publishWindow int,
-	overflow broker.OverflowPolicy, writeQueue int, writeTimeout time.Duration, subscribeCredit int,
-	durable []string, journalDir string, importEvery time.Duration) error {
-	d, err := mdt.Deploy(mdt.DeployConfig{
-		Registry:        maindb.Config{Seed: seed, Patients: patients},
-		Password:        password,
-		NetworkBroker:   networkBroker,
-		PublishWindow:   publishWindow,
-		Overflow:        overflow,
-		WriteQueueLen:   writeQueue,
-		WriteTimeout:    writeTimeout,
-		SubscribeCredit: subscribeCredit,
-		Durable:         durable,
-		JournalDir:      journalDir,
-		Logf:            log.Printf,
-	})
+func run(cfg mdt.DeployConfig, httpAddr string, patients int, importEvery time.Duration) error {
+	d, err := mdt.Deploy(cfg)
 	if err != nil {
 		return err
 	}
@@ -126,9 +138,11 @@ func run(httpAddr string, patients int, seed int64, password string, networkBrok
 		log.Printf("broker front: %d deliveries dropped, %d overflow drops, %d slow-consumer evictions, queue high-water %d, %d credit stalls, %d unhandled frames",
 			bs.DroppedDeliveries, bs.OverflowDrops, bs.SlowConsumerEvictions, bs.QueueHighWater,
 			bs.CreditStalls, bs.UnhandledFrames)
-		if len(durable) > 0 {
+		if len(cfg.Durable) > 0 {
 			log.Printf("durable topics: %d journal appends (%d failed), %d replay deliveries, %d filtered by clearance",
-				bs.DurableAppends, bs.DurableAppendErrors, bs.ReplayDeliveries, bs.ReplayFiltered)
+				bs.DurableAppends, bs.JournalAppendErrors, bs.ReplayDeliveries, bs.ReplayFiltered)
+			log.Printf("journal retention: %d acked segments compacted, %d retention deletes, %d clamped resumes",
+				bs.CompactedSegments, bs.RetentionDeletes, bs.ClampedResumes)
 		}
 	}
 	return nil

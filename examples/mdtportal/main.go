@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"safeweb/internal/broker"
+	"safeweb/internal/journal"
 	"safeweb/internal/maindb"
 	"safeweb/internal/mdt"
 )
@@ -48,9 +49,20 @@ func main() {
 		"comma-separated topic patterns the broker journals for replay and resume (with -network-broker; requires -journal-dir)")
 	journalDir := flag.String("journal-dir", "",
 		"directory for the durable topic journals (with -durable)")
+	retentionAge := flag.Duration("journal-retention-age", 0,
+		"delete journal segments whose newest record is older than this (with -durable; 0 = unbounded)")
+	retentionBytes := flag.Int64("journal-retention-bytes", 0,
+		"per-topic journal byte budget, oldest segments deleted first (with -durable; 0 = unbounded)")
+	journalSync := flag.String("journal-sync", "never",
+		"journal fsync policy (with -durable): never, batch or always")
 	flag.Parse()
 
 	policy, err := broker.ParseOverflowPolicy(*overflow)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdtportal:", err)
+		os.Exit(2)
+	}
+	syncPolicy, err := journal.ParseSyncPolicy(*journalSync)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdtportal:", err)
 		os.Exit(2)
@@ -60,7 +72,8 @@ func main() {
 		durableTopics = strings.Split(*durable, ",")
 	}
 	if err := run(*patients, *serve, *networkBroker, *publishWindow, policy,
-		*writeQueue, *writeTimeout, *subscribeCredit, durableTopics, *journalDir); err != nil {
+		*writeQueue, *writeTimeout, *subscribeCredit, durableTopics, *journalDir,
+		*retentionAge, *retentionBytes, syncPolicy); err != nil {
 		fmt.Fprintln(os.Stderr, "mdtportal:", err)
 		os.Exit(1)
 	}
@@ -68,7 +81,8 @@ func main() {
 
 func run(patients int, serve bool, networkBroker bool, publishWindow int,
 	overflow broker.OverflowPolicy, writeQueue int, writeTimeout time.Duration, subscribeCredit int,
-	durable []string, journalDir string) error {
+	durable []string, journalDir string,
+	retentionAge time.Duration, retentionBytes int64, journalSync journal.SyncPolicy) error {
 	fmt.Printf("deploying MDT portal (%d patients, network broker: %v)\n", patients, networkBroker)
 	d, err := mdt.Deploy(mdt.DeployConfig{
 		Registry:      maindb.Config{Seed: 2026, Patients: patients},
@@ -87,9 +101,14 @@ func run(patients int, serve bool, networkBroker bool, publishWindow int,
 		WriteTimeout:    writeTimeout,
 		SubscribeCredit: subscribeCredit,
 		// Durable topics journal the listed patterns to disk so consumers
-		// can replay and resume them with offset/group subscriptions.
-		Durable:    durable,
-		JournalDir: journalDir,
+		// can replay and resume them with offset/group subscriptions; the
+		// retention windows bound the journals and the sync policy trades
+		// power-loss durability against append latency.
+		Durable:               durable,
+		JournalDir:            journalDir,
+		JournalRetentionAge:   retentionAge,
+		JournalRetentionBytes: retentionBytes,
+		JournalSync:           journalSync,
 	})
 	if err != nil {
 		return err

@@ -53,6 +53,9 @@ import (
 type journalStore struct {
 	dir  string
 	opts journal.Options
+	// onCompact, when non-nil, observes every compaction pass on any of
+	// the store's journals, tagged with the owning topic.
+	onCompact func(topic string, st journal.CompactStats)
 
 	mu sync.Mutex
 	m  map[string]*journal.Journal
@@ -98,12 +101,35 @@ func (st *journalStore) open(topic string) (*journal.Journal, error) {
 	if j := st.m[topic]; j != nil {
 		return j, nil
 	}
-	j, err := journal.Open(filepath.Join(st.dir, url.PathEscape(topic)), st.opts)
+	opts := st.opts
+	if cb := st.onCompact; cb != nil {
+		opts.OnCompact = func(cs journal.CompactStats) { cb(topic, cs) }
+	}
+	j, err := journal.Open(filepath.Join(st.dir, url.PathEscape(topic)), opts)
 	if err != nil {
 		return nil, err
 	}
 	st.m[topic] = j
 	return j, nil
+}
+
+// compactAll runs one explicit compaction pass over every open journal:
+// acked-prefix deletion plus the retention windows. The first error is
+// returned; later journals are still compacted.
+func (st *journalStore) compactAll() error {
+	st.mu.Lock()
+	js := make([]*journal.Journal, 0, len(st.m))
+	for _, j := range st.m {
+		js = append(js, j)
+	}
+	st.mu.Unlock()
+	var err error
+	for _, j := range js {
+		if _, cerr := j.Compact(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // has reports whether the store already holds a journal for topic.
@@ -135,14 +161,12 @@ func (st *journalStore) closeAll() error {
 func (s *Server) journalAppend(ev *event.Event) {
 	img, err := ev.WireImage()
 	if err != nil {
-		s.durableAppendErrors.Add(1)
-		s.cfg.Logf("broker: durable append for %s: %v", ev.Topic, err)
+		s.journalError(ev.Topic, err)
 		return
 	}
 	j, err := s.journals.open(ev.Topic)
 	if err != nil {
-		s.durableAppendErrors.Add(1)
-		s.cfg.Logf("broker: durable append for %s: %v", ev.Topic, err)
+		s.journalError(ev.Topic, err)
 		return
 	}
 	rec := journal.Record{
@@ -153,11 +177,50 @@ func (s *Server) journalAppend(ev *event.Event) {
 		Image:  img.Bytes(),
 	}
 	if _, err := j.Append(&rec); err != nil {
-		s.durableAppendErrors.Add(1)
-		s.cfg.Logf("broker: durable append for %s: %v", ev.Topic, err)
+		s.journalError(ev.Topic, err)
 		return
 	}
 	s.durableAppends.Add(1)
+}
+
+// journalError accounts one durable-journal append failure: a publish
+// that should be in the audit trail and is not. Counted always, then
+// routed to the OnJournalError hook — or logged, so no suppressed append
+// is silent.
+func (s *Server) journalError(topic string, err error) {
+	s.journalAppendErrors.Add(1)
+	if s.cfg.OnJournalError != nil {
+		s.cfg.OnJournalError(topic, err)
+		return
+	}
+	s.cfg.Logf("broker: durable append for %s: %v", topic, err)
+}
+
+// journalCompacted is the per-store compaction observer: fold the pass
+// into the server counters and forward it to the OnRetention hook.
+func (s *Server) journalCompacted(topic string, cs journal.CompactStats) {
+	s.compactedSegments.Add(uint64(cs.AckedSegments))
+	s.retentionDeletes.Add(uint64(cs.RetentionSegments))
+	if s.cfg.OnRetention != nil {
+		s.cfg.OnRetention(RetentionEvent{
+			Topic:             topic,
+			AckedSegments:     cs.AckedSegments,
+			RetentionSegments: cs.RetentionSegments,
+			FirstOffset:       cs.FirstOffset,
+		})
+	}
+}
+
+// CompactJournals runs an explicit compaction pass over every open
+// durable-topic journal: the fully-acked segment prefix is deleted and
+// the retention windows applied. Rolls enforce retention continuously;
+// this is the operator's (and the ack path's) way to reclaim space
+// without waiting for the next roll.
+func (s *Server) CompactJournals() error {
+	if s.journals == nil {
+		return nil
+	}
+	return s.journals.compactAll()
 }
 
 // isDurableTopic reports whether the topic is journal-backed: covered by
@@ -229,6 +292,16 @@ func (s *Server) subscribeDurable(ss *serverSession, clientID, topic, sel, credi
 	} else {
 		start = j.Acked(group)
 	}
+	// Clamp to the retained range: compaction or retention may have
+	// deleted the records below FirstOffset ("earliest" asks for offset
+	// zero and lands here whenever anything was compacted). The gap is
+	// counted and logged, never silent — the consumer resumes at the
+	// oldest record that still exists.
+	if first := j.FirstOffset(); start < first {
+		s.clampedResumes.Add(1)
+		s.cfg.Logf("broker: durable subscribe %s group %q: start offset %d compacted away, clamped to %d", topic, group, start, first)
+		start = first
+	}
 
 	ws := &wireSub{replay: &replayFeed{j: j, group: group, done: make(chan struct{})}}
 	if creditHdr != "" {
@@ -241,7 +314,7 @@ func (s *Server) subscribeDurable(ss *serverSession, clientID, topic, sel, credi
 	s.mu.Lock()
 	ss.subs[clientID] = ws
 	s.mu.Unlock()
-	go s.runReplay(ss, ws, clientID, start)
+	go s.runReplay(ss, ws, clientID, topic, start)
 	return nil
 }
 
@@ -255,7 +328,7 @@ func (s *Server) subscribeDurable(ss *serverSession, clientID, topic, sel, credi
 // event was written is honoured on every later replay, fail closed (an
 // unparsable persisted header is treated as undeliverable, not as
 // unlabelled).
-func (s *Server) runReplay(ss *serverSession, ws *wireSub, clientSubID string, start int64) {
+func (s *Server) runReplay(ss *serverSession, ws *wireSub, clientSubID, topic string, start int64) {
 	f := ws.replay
 	login := ss.sess.Login()
 	next := start
@@ -282,6 +355,19 @@ func (s *Server) runReplay(ss *serverSession, ws *wireSub, clientSubID string, s
 			default:
 			}
 			if err := f.j.Read(next, &rec); err != nil {
+				if errors.Is(err, journal.ErrOffsetCompacted) {
+					// The replay fell behind retention: the record at next
+					// (and possibly more) was compacted away under us.
+					// Clamp forward to the oldest surviving record —
+					// counted and logged, the same never-silent contract
+					// as a clamped subscribe.
+					if first := f.j.FirstOffset(); first > next {
+						s.clampedResumes.Add(1)
+						s.cfg.Logf("broker: replay %s sub %s: offset %d compacted away, resuming at %d", topic, clientSubID, next, first)
+						next = first
+						continue
+					}
+				}
 				s.dropDelivery(ss, clientSubID, nil, err)
 				return
 			}

@@ -570,3 +570,140 @@ func TestDurableSubscribeValidation(t *testing.T) {
 	expectSubscribeError("bad offset spec", topic,
 		map[string]string{stomp.HdrOffset: "latest-ish"})
 }
+
+// TestDurableRetentionClampedResume drives compaction end to end: a group
+// acks the whole stream, CompactJournals truncates the acked prefix, and
+// a fresh group subscribing from "earliest" is clamped to the journal's
+// new lower bound — counted in ClampedResumes, never silently — and
+// receives exactly the surviving suffix.
+func TestDurableRetentionClampedResume(t *testing.T) {
+	const topic = "/d/retain"
+	dir := t.TempDir()
+	b := New(testPolicy())
+	var retMu sync.Mutex
+	var retEvents []RetentionEvent
+	srv, err := NewServer("127.0.0.1:0", b, ServerConfig{
+		Logf:               t.Logf,
+		Durable:            []string{topic},
+		JournalDir:         dir,
+		JournalSegmentSize: 256, // several segments from a handful of publishes
+		OnRetention: func(ev RetentionEvent) {
+			retMu.Lock()
+			retEvents = append(retEvents, ev)
+			retMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		b.Close()
+	})
+
+	const n = 20
+	producer := dialBus(t, srv.Addr(), "producer")
+	for seq := 0; seq < n; seq++ {
+		publishDurableSeq(t, producer, topic, seq)
+	}
+	waitFor(t, "journal appends", func() bool { return srv.Stats().DurableAppends == n })
+
+	// Group g1 consumes and releases everything, making the whole prefix
+	// ack-covered.
+	c1 := dialDurable(t, srv.Addr(), "consumer", "g1", "", 4)
+	h1, seqs1 := seqCollector(t, func(int) bool { return true })
+	if _, err := c1.Subscribe(topic, "", h1); err != nil {
+		t.Fatalf("Subscribe g1: %v", err)
+	}
+	waitFor(t, "g1 replay", func() bool { return len(seqs1()) == n })
+	j, err := srv.journals.open(topic)
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	waitFor(t, "g1 cumulative ack", func() bool { return j.Acked("g1") == n })
+
+	if err := srv.CompactJournals(); err != nil {
+		t.Fatalf("CompactJournals: %v", err)
+	}
+	first := j.FirstOffset()
+	if first == 0 {
+		t.Fatal("compaction did not advance FirstOffset")
+	}
+	if got := srv.Stats().CompactedSegments; got == 0 {
+		t.Error("CompactedSegments = 0 after an acked-prefix compaction")
+	}
+	retMu.Lock()
+	nret := len(retEvents)
+	retMu.Unlock()
+	if nret == 0 {
+		t.Error("OnRetention hook never fired")
+	}
+
+	// A new group asking for "earliest" wants offset 0, which is gone:
+	// the resume clamps to FirstOffset and replays the surviving suffix.
+	c2 := dialDurable(t, srv.Addr(), "consumer", "g2", "earliest", 4)
+	h2, seqs2 := seqCollector(t, func(int) bool { return true })
+	if _, err := c2.Subscribe(topic, "", h2); err != nil {
+		t.Fatalf("Subscribe g2: %v", err)
+	}
+	waitFor(t, "g2 clamped replay", func() bool { return len(seqs2()) == n-int(first) })
+	want := make([]int, 0, n-int(first))
+	for seq := int(first); seq < n; seq++ {
+		want = append(want, seq)
+	}
+	if got := seqs2(); !sameSeqs(got, want) {
+		t.Fatalf("clamped replay = %v, want %v", got, want)
+	}
+	if got := srv.Stats().ClampedResumes; got == 0 {
+		t.Error("ClampedResumes = 0, want >= 1 (clamp must be counted, not silent)")
+	}
+}
+
+// TestDurableJournalAppendErrorCounted pins the satellite fix: a durable
+// append failure is no longer just a log line — it increments
+// JournalAppendErrors and reaches the OnJournalError hook.
+func TestDurableJournalAppendErrorCounted(t *testing.T) {
+	const topic = "/d/apperr"
+	dir := t.TempDir()
+	b := New(testPolicy())
+	var errMu sync.Mutex
+	var hookTopics []string
+	srv, err := NewServer("127.0.0.1:0", b, ServerConfig{
+		Logf:       t.Logf,
+		Durable:    []string{topic},
+		JournalDir: dir,
+		OnJournalError: func(topic string, err error) {
+			errMu.Lock()
+			hookTopics = append(hookTopics, topic)
+			errMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		b.Close()
+	})
+
+	// Close the topic's journal underneath the server: the next publish's
+	// tap append fails the way a full or failing disk would.
+	j, err := srv.journals.open(topic)
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close journal: %v", err)
+	}
+
+	producer := dialBus(t, srv.Addr(), "producer")
+	publishDurableSeq(t, producer, topic, 0)
+	waitFor(t, "append error counted", func() bool {
+		return srv.Stats().JournalAppendErrors == 1
+	})
+	errMu.Lock()
+	defer errMu.Unlock()
+	if len(hookTopics) != 1 || hookTopics[0] != topic {
+		t.Fatalf("OnJournalError hook saw %v, want [%s]", hookTopics, topic)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"safeweb/internal/broker"
 	"safeweb/internal/engine"
 	"safeweb/internal/event"
+	"safeweb/internal/journal"
 	"safeweb/internal/label"
 )
 
@@ -31,15 +32,16 @@ func (u pipeUnit) Init(ctx *engine.InitContext) error { return u.init(ctx) }
 // writes and engine dispatch — everything between two networked units.
 func BenchmarkNetworkPipeline(b *testing.B) {
 	for _, bc := range []struct {
-		fanout, shards, window     int
-		stalled, credited, durable bool
+		fanout, shards, window                int
+		stalled, credited, durable, batchSync bool
 	}{
 		{fanout: 1, shards: 1}, {fanout: 1, shards: 1, window: 64}, {fanout: 10, shards: 1},
 		{fanout: 100, shards: 1}, {fanout: 100, shards: 4}, {fanout: 100, shards: 1, stalled: true},
 		{fanout: 100, shards: 1, credited: true}, {fanout: 100, shards: 1, durable: true},
+		{fanout: 100, shards: 1, durable: true, batchSync: true},
 	} {
-		fanout, shards, window, stalled, credited, durable :=
-			bc.fanout, bc.shards, bc.window, bc.stalled, bc.credited, bc.durable
+		fanout, shards, window, stalled, credited, durable, batchSync :=
+			bc.fanout, bc.shards, bc.window, bc.stalled, bc.credited, bc.durable, bc.batchSync
 		name := fmt.Sprintf("fanout=%d", fanout)
 		if shards > 1 {
 			// The sharded variant spreads the consumer's subscriptions
@@ -81,6 +83,15 @@ func BenchmarkNetworkPipeline(b *testing.B) {
 			// top of the healthy fanout=100 series (CI asserts it stays
 			// within 1.5x and at the same per-trigger allocation budget).
 			name += "/durable"
+			if batchSync {
+				// The batched-sync variant runs the same journaled publish
+				// path under journal.SyncBatch: fsyncs coalesced by bytes or
+				// interval, with records published only once their batch is
+				// synced. It prices the durability upgrade against the
+				// no-fsync durable series (CI holds it to the same 1.5x ns/op
+				// and per-trigger allocation budgets as the durable series).
+				name += "-batched-sync"
+			}
 		}
 		b.Run(name, func(b *testing.B) {
 			policy := label.NewPolicy()
@@ -92,6 +103,9 @@ func BenchmarkNetworkPipeline(b *testing.B) {
 			if durable {
 				scfg.Durable = []string{"/bench/out"}
 				scfg.JournalDir = b.TempDir()
+				if batchSync {
+					scfg.JournalSync = journal.SyncBatch
+				}
 			}
 			if stalled {
 				policy.Grant("stalled", label.Clearance,

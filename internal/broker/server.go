@@ -172,8 +172,41 @@ type ServerConfig struct {
 	// bytes; zero selects the journal default (64 MiB).
 	JournalSegmentSize int64
 	// JournalSync is the journal fsync policy; the zero value is
-	// journal.SyncNever.
+	// journal.SyncNever. journal.SyncBatch coalesces fsyncs at the
+	// journal's byte/interval thresholds and only publishes a record for
+	// replay once its batch is on stable storage.
 	JournalSync journal.SyncPolicy
+	// JournalRetentionAge, when positive, expires journal segments whose
+	// newest record is older — acked or not; retention is the storage
+	// bound. Zero keeps segments until their acked prefix is compacted.
+	JournalRetentionAge time.Duration
+	// JournalRetentionBytes, when positive, bounds each durable topic's
+	// journal directory: oldest segments are deleted first until the
+	// total fits. Enforced on every segment roll and on CompactJournals.
+	JournalRetentionBytes int64
+	// OnRetention observes every journal compaction pass that deleted
+	// segments — by ack coverage or by the retention windows. Runs with
+	// journal locks held and must not block or call back into the server.
+	OnRetention func(ev RetentionEvent)
+	// OnJournalError observes durable-journal append failures: a publish
+	// on a durable topic that could not be journaled. A durable topic
+	// silently ceasing to be durable would defeat the audit trail, so nil
+	// falls back to Logf; every failure is also counted in Stats. Runs on
+	// the publishing goroutine and must not block.
+	OnJournalError func(topic string, err error)
+}
+
+// RetentionEvent describes one journal compaction pass that deleted
+// segments from a durable topic's journal.
+type RetentionEvent struct {
+	Topic string
+	// AckedSegments counts segments deleted because every consumer
+	// group's cumulative ack covered them; RetentionSegments counts
+	// segments deleted by the time/size retention windows.
+	AckedSegments     int
+	RetentionSegments int
+	// FirstOffset is the journal's new lowest retained offset.
+	FirstOffset int64
 }
 
 // ServerStats counts network-front activity not visible in the core
@@ -202,11 +235,11 @@ type ServerStats struct {
 	// server has for it (ACK without a valid credit grant).
 	UnhandledFrames uint64
 	// DurableAppends counts publishes journaled to durable topics;
-	// DurableAppendErrors counts appends that failed (each is also
-	// logged — a durable topic silently losing history would defeat the
-	// audit trail).
+	// JournalAppendErrors counts appends that failed (each is also routed
+	// through OnJournalError or logged — a durable topic silently losing
+	// history would defeat the audit trail).
 	DurableAppends      uint64
-	DurableAppendErrors uint64
+	JournalAppendErrors uint64
 	// ReplayDeliveries counts MESSAGE frames served from journals by
 	// durable subscriptions; ReplayFiltered counts journal records
 	// withheld from a replaying consumer by the clearance check at read
@@ -214,6 +247,16 @@ type ServerStats struct {
 	// closed).
 	ReplayDeliveries uint64
 	ReplayFiltered   uint64
+	// CompactedSegments counts journal segments deleted because every
+	// consumer group's ack covered them; RetentionDeletes counts segments
+	// the time/size retention windows deleted regardless of acks.
+	CompactedSegments uint64
+	RetentionDeletes  uint64
+	// ClampedResumes counts durable subscriptions (or running replays)
+	// whose position fell below a journal's FirstOffset and was clamped
+	// forward to it — the records in between were compacted away, and
+	// that gap is never silent.
+	ClampedResumes uint64
 }
 
 // SessionStats is a point-in-time snapshot of one live session's delivery
@@ -260,9 +303,12 @@ type Server struct {
 	creditStalls        atomic.Uint64
 	unhandledFrames     atomic.Uint64
 	durableAppends      atomic.Uint64
-	durableAppendErrors atomic.Uint64
+	journalAppendErrors atomic.Uint64
 	replayDeliveries    atomic.Uint64
 	replayFiltered      atomic.Uint64
+	compactedSegments   atomic.Uint64
+	retentionDeletes    atomic.Uint64
+	clampedResumes      atomic.Uint64
 	// departedHighWater folds the queue high-water marks of closed
 	// sessions so Stats() keeps the all-time maximum.
 	departedHighWater atomic.Int64
@@ -328,6 +374,12 @@ func NewServer(addr string, b *Broker, cfg ServerConfig) (*Server, error) {
 	if cfg.JournalSegmentSize < 0 {
 		return nil, fmt.Errorf("broker: ServerConfig.JournalSegmentSize must not be negative, got %d", cfg.JournalSegmentSize)
 	}
+	if cfg.JournalRetentionAge < 0 {
+		return nil, fmt.Errorf("broker: ServerConfig.JournalRetentionAge must not be negative, got %v", cfg.JournalRetentionAge)
+	}
+	if cfg.JournalRetentionBytes < 0 {
+		return nil, fmt.Errorf("broker: ServerConfig.JournalRetentionBytes must not be negative, got %d", cfg.JournalRetentionBytes)
+	}
 	srv := &Server{
 		broker:        b,
 		cfg:           cfg,
@@ -337,9 +389,12 @@ func NewServer(addr string, b *Broker, cfg ServerConfig) (*Server, error) {
 	}
 	if cfg.JournalDir != "" {
 		srv.journals = newJournalStore(cfg.JournalDir, journal.Options{
-			SegmentSize: cfg.JournalSegmentSize,
-			Sync:        cfg.JournalSync,
+			SegmentSize:    cfg.JournalSegmentSize,
+			Sync:           cfg.JournalSync,
+			RetentionAge:   cfg.JournalRetentionAge,
+			RetentionBytes: cfg.JournalRetentionBytes,
 		})
+		srv.journals.onCompact = srv.journalCompacted
 		// Recover every existing journal now: torn tails are truncated and
 		// ack tables rebuilt before the first publish or subscribe, and a
 		// corrupt log fails construction instead of a consumer.
@@ -424,9 +479,12 @@ func (s *Server) Stats() ServerStats {
 		CreditStalls:          s.creditStalls.Load(),
 		UnhandledFrames:       s.unhandledFrames.Load(),
 		DurableAppends:        s.durableAppends.Load(),
-		DurableAppendErrors:   s.durableAppendErrors.Load(),
+		JournalAppendErrors:   s.journalAppendErrors.Load(),
 		ReplayDeliveries:      s.replayDeliveries.Load(),
 		ReplayFiltered:        s.replayFiltered.Load(),
+		CompactedSegments:     s.compactedSegments.Load(),
+		RetentionDeletes:      s.retentionDeletes.Load(),
+		ClampedResumes:        s.clampedResumes.Load(),
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"safeweb/internal/engine"
 	"safeweb/internal/event"
 	"safeweb/internal/jail"
+	"safeweb/internal/journal"
 	"safeweb/internal/label"
 	"safeweb/internal/webdb"
 	"safeweb/internal/webfront"
@@ -74,6 +75,16 @@ type Config struct {
 	Durable []string
 	// JournalDir is the directory holding the durable topic journals.
 	JournalDir string
+	// JournalRetentionAge and JournalRetentionBytes bound the durable
+	// topic journals: segments older than the age, or past the per-topic
+	// byte budget, are deleted oldest-first (see
+	// broker.ServerConfig.JournalRetentionAge/-Bytes). Zero means
+	// unbounded.
+	JournalRetentionAge   time.Duration
+	JournalRetentionBytes int64
+	// JournalSync selects the journals' fsync policy (see
+	// journal.SyncPolicy); the zero value is journal.SyncNever.
+	JournalSync journal.SyncPolicy
 	// ReplicationInterval is the Intranet→DMZ push period; zero means
 	// 50ms.
 	ReplicationInterval time.Duration
@@ -131,13 +142,16 @@ func New(cfg Config) (*Middleware, error) {
 	var busFactory engine.BusFactory
 	if cfg.NetworkBroker {
 		srv, err := broker.NewServer("127.0.0.1:0", m.Broker, broker.ServerConfig{
-			Logf:               cfg.Logf,
-			Overflow:           cfg.Overflow,
-			OverflowEvictAfter: cfg.OverflowEvictAfter,
-			WriteQueueLen:      cfg.WriteQueueLen,
-			WriteTimeout:       cfg.WriteTimeout,
-			Durable:            cfg.Durable,
-			JournalDir:         cfg.JournalDir,
+			Logf:                  cfg.Logf,
+			Overflow:              cfg.Overflow,
+			OverflowEvictAfter:    cfg.OverflowEvictAfter,
+			WriteQueueLen:         cfg.WriteQueueLen,
+			WriteTimeout:          cfg.WriteTimeout,
+			Durable:               cfg.Durable,
+			JournalDir:            cfg.JournalDir,
+			JournalRetentionAge:   cfg.JournalRetentionAge,
+			JournalRetentionBytes: cfg.JournalRetentionBytes,
+			JournalSync:           cfg.JournalSync,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: broker server: %w", err)

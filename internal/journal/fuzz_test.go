@@ -17,6 +17,30 @@ func FuzzJournalRecord(f *testing.F) {
 	f.Add(int64(-5), "/a/b", "", 1, []byte{0, 1, 2}, []byte("trailing"))
 	f.Add(int64(1<<40), "/x", "l", 0, bytes.Repeat([]byte{7}, 300), []byte{0xff, 0xff, 0xff, 0xff})
 
+	// Compacted-log layouts: a surviving segment after prefix compaction
+	// is a concatenation of valid frames whose offsets start well above
+	// zero — the decoder sees them back to back during recovery scans.
+	var compacted []byte
+	for i := 40; i < 44; i++ {
+		b, err := appendRecord(compacted, &Record{
+			Time:   int64(1000 + i),
+			Topic:  "/t",
+			Labels: "label:conf:ward-a",
+			Split:  5,
+			Image:  []byte("MESSAGE\n\nbody\x00"),
+		})
+		if err != nil {
+			f.Fatal(err)
+		}
+		compacted = b
+	}
+	f.Add(int64(1040), "/t", "label:conf:ward-a", 5, []byte("MESSAGE\n\nbody\x00"), compacted)
+	// A torn compacted segment: the same layout cut mid-frame, the shape
+	// a crash during retention leaves at the tail.
+	f.Add(int64(1040), "/t", "", 0, []byte{}, compacted[:len(compacted)-9])
+	// Frames preceded by garbage, as when a scan resumes misaligned.
+	f.Add(int64(0), "", "", 0, []byte{}, append([]byte{0xde, 0xad}, compacted...))
+
 	f.Fuzz(func(t *testing.T, tm int64, topic, labels string, split int, image, raw []byte) {
 		// Encode → decode round-trip for any encodable record.
 		rec := &Record{Time: tm, Topic: topic, Labels: labels, Split: split, Image: image}

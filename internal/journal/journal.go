@@ -22,11 +22,21 @@
 //     the broker re-parses and re-enforces clearance on every replay, so
 //     a policy change between write and read is honoured (package broker
 //     owns that check; the journal just preserves the evidence).
+//   - Bounded storage. The log has a moving lower bound, FirstOffset:
+//     whole segments are deleted once every consumer group's cumulative
+//     ack covers them (Compact), or once the time/size retention windows
+//     expire them (enforced on every segment roll and on Compact). Reads
+//     below FirstOffset fail ErrOffsetCompacted — a consumer that fell
+//     behind retention is told so, never silently skipped. The active
+//     segment is never deleted, so the offset counter always survives a
+//     restart.
 //
-// Offsets are dense record indexes starting at zero. The fsync policy is
-// explicit (SyncNever trusts the OS page cache, SyncAlways syncs every
-// append); compaction and retention are out of scope — the log only
-// grows.
+// Offsets are dense record indexes starting at zero; [FirstOffset,
+// NextOffset) is the readable range. The fsync policy is explicit:
+// SyncNever trusts the OS page cache, SyncAlways syncs every append, and
+// SyncBatch coalesces fsyncs at a byte/interval threshold — a batched
+// record is only published (readable, and so replayable-as-durable) once
+// its batch has reached stable storage.
 package journal
 
 import (
@@ -39,6 +49,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // SyncPolicy selects when appends reach stable storage.
@@ -49,19 +60,64 @@ const (
 	// (the write hits the page cache) but not against power loss. The
 	// default, and what the durable fan-out benchmark measures.
 	SyncNever SyncPolicy = iota
+	// SyncBatch coalesces fsyncs: appends accumulate until
+	// Options.SyncBatchBytes are pending or Options.SyncBatchInterval has
+	// elapsed since the first unsynced append, then one fsync covers the
+	// whole batch. A batched record is not published — NextOffset does not
+	// cover it and tailing replay cannot see it — until its batch is
+	// synced, so everything readable is also durable against power loss.
+	SyncBatch
 	// SyncAlways fsyncs after every event append and every ack.
 	SyncAlways
 )
+
+// ParseSyncPolicy parses a policy name as used by configuration flags:
+// "never", "batch" or "always".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "never":
+		return SyncNever, nil
+	case "batch":
+		return SyncBatch, nil
+	case "always":
+		return SyncAlways, nil
+	}
+	return 0, fmt.Errorf("journal: unknown sync policy %q (want never, batch or always)", s)
+}
+
+// String returns the flag-form name of the policy.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNever:
+		return "never"
+	case SyncBatch:
+		return "batch"
+	case SyncAlways:
+		return "always"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
 
 // defaultSegmentSize is the segment roll threshold when Options leaves it
 // zero.
 const defaultSegmentSize = 64 << 20
 
+// Defaults for the SyncBatch thresholds when Options leaves them zero.
+const (
+	defaultSyncBatchBytes    = 256 << 10
+	defaultSyncBatchInterval = 2 * time.Millisecond
+)
+
 // segmentSuffix names segment files: "<base offset, 20 digits>.seg".
 const segmentSuffix = ".seg"
 
-// ackLogName is the per-journal ack log file.
-const ackLogName = "acks.log"
+// ackLogName is the per-journal ack log file; ackTmpName is the scratch
+// file its compaction rewrite stages through (renamed into place, so a
+// crash mid-rewrite leaves the longer original intact).
+const (
+	ackLogName = "acks.log"
+	ackTmpName = ackLogName + ".tmp"
+)
 
 // Options configures a Journal.
 type Options struct {
@@ -72,11 +128,50 @@ type Options struct {
 	SegmentSize int64
 	// Sync is the fsync policy; the zero value is SyncNever.
 	Sync SyncPolicy
+	// SyncBatchBytes and SyncBatchInterval bound a SyncBatch batch: the
+	// batch is synced (and its records published) once this many bytes
+	// are pending, or this long after its first append, whichever comes
+	// first. Zero selects the defaults (256 KiB, 2ms). Ignored outside
+	// SyncBatch.
+	SyncBatchBytes    int64
+	SyncBatchInterval time.Duration
+	// RetentionAge, when positive, expires whole segments: a non-active
+	// segment whose newest record is older than this is deleted on the
+	// next segment roll or Compact, acked or not — retention is the
+	// storage bound, the ack prefix is only the fast path.
+	RetentionAge time.Duration
+	// RetentionBytes, when positive, bounds the journal directory's
+	// segment bytes: rolls and Compact delete oldest segments first until
+	// the total — counting the active segment at its full roll threshold,
+	// so the bound holds even after it fills — fits the budget. The
+	// active segment is never deleted, so budgets below 2× SegmentSize
+	// degrade to "active segment only".
+	RetentionBytes int64
+	// OnCompact, when non-nil, observes every compaction pass that
+	// deleted at least one segment. It is called with internal locks held
+	// and must not call back into the Journal or block.
+	OnCompact func(CompactStats)
+}
+
+// CompactStats summarises one compaction pass.
+type CompactStats struct {
+	// AckedSegments counts segments deleted because every consumer
+	// group's cumulative ack covered them; RetentionSegments counts
+	// segments the time/size windows deleted regardless of acks.
+	AckedSegments     int
+	RetentionSegments int
+	// FirstOffset is the journal's lowest retained offset after the pass.
+	FirstOffset int64
 }
 
 // ErrOffsetOutOfRange reports a Read at an offset the journal does not
-// hold.
+// hold (negative, or at/past NextOffset).
 var ErrOffsetOutOfRange = errors.New("journal: offset out of range")
+
+// ErrOffsetCompacted reports a Read below FirstOffset: the record existed
+// but compaction or retention deleted its segment. Callers resume from
+// FirstOffset — and say so; a consumer must never silently miss records.
+var ErrOffsetCompacted = errors.New("journal: offset compacted away")
 
 // errClosed reports use of a closed journal.
 var errClosed = errors.New("journal: closed")
@@ -89,51 +184,119 @@ type segment struct {
 	// pos holds each record's byte offset within the file; a record's
 	// framed length runs to the next entry (or to size for the last).
 	pos []int64
+	// lastTime is the newest record's timestamp (UnixNano), the segment's
+	// age for RetentionAge.
+	lastTime int64
+	// dirty marks bytes written but not yet fsynced (SyncBatch only).
+	dirty bool
 }
 
 // Journal is one topic's append-only log. All methods are safe for
 // concurrent use; appends are serialised, reads run concurrently with
 // appends (a reader never sees a record before NextOffset covers it).
+//
+// Lock order: mu before ackMu.
 type Journal struct {
-	dir     string
-	segSize int64
-	sync    SyncPolicy
+	dir           string
+	segSize       int64
+	sync          SyncPolicy
+	batchBytes    int64
+	batchInterval time.Duration
+	retainAge     time.Duration
+	retainBytes   int64
+	onCompact     func(CompactStats)
 
-	// next is the offset the next append receives — equivalently the
-	// number of records the journal holds. Advanced only after the record
-	// is fully written, so a concurrent reader bounded by NextOffset only
-	// ever reads committed bytes.
+	// next is the offset the next append publishes — the exclusive upper
+	// bound of readable offsets. Advanced only after the record is fully
+	// written (and, under SyncBatch, fsynced), so a concurrent reader
+	// bounded by NextOffset only ever reads committed bytes.
 	next atomic.Int64
+	// first is the lowest retained offset: compaction and retention
+	// advance it by whole segments. Reads below it fail
+	// ErrOffsetCompacted.
+	first atomic.Int64
 
 	// signal is closed (and replaced) after every committed append — the
 	// tailing-replay wakeup. Grab AppendSignal before reading NextOffset
 	// and no append can slip between the check and the wait.
 	signal atomic.Pointer[chan struct{}]
 
-	mu     sync.Mutex // guards segs, scratch and append/roll
+	mu     sync.Mutex // guards segs, scratch and append/roll/compact
 	segs   []*segment
 	buf    []byte // append scratch, reused
 	closed bool
+	// written is the offset the next append receives; it runs ahead of
+	// next under SyncBatch (written-but-unpublished batch) and equals it
+	// otherwise.
+	written int64
+	// unsynced is the byte count of the pending SyncBatch batch;
+	// flushTimer is its interval alarm.
+	unsynced   int64
+	flushTimer *time.Timer
+	// appendErr is sticky: set when a failed write's tail restoration (or
+	// a batch fsync) fails, leaving the log in a state a further append
+	// would corrupt. Every later append fails with it — fail closed; a
+	// reopen repairs the tail.
+	appendErr error
 
-	ackMu  sync.Mutex
-	ackF   *os.File
+	ackMu   sync.Mutex
+	ackF    *os.File
+	ackSize int64 // committed ack-log length, the tail-restore point
+	// ackDirty marks ack bytes written but not yet fsynced (SyncBatch).
+	ackDirty bool
+	// ackErr is the ack log's sticky failure, mirroring appendErr.
+	ackErr error
 	acked  map[string]int64
 	ackBuf []byte
+
+	// writeHook, when non-nil, intercepts segment and ack-log writes —
+	// the fault-injection seam the recovery tests use.
+	writeHook func(f *os.File, b []byte) (int, error)
+	// now is the clock RetentionAge compares against, injectable in
+	// tests.
+	now func() int64
 }
 
 // Open opens (creating if needed) the journal in dir, scanning every
 // segment to rebuild the offset index and truncating any torn tail the
-// last crash left in the final segment or the ack log. Corruption in the
-// interior of the log (a non-final segment) is not repairable and fails
-// Open.
+// last crash left in the final segment or the ack log. The first segment
+// present may start at any base — a compacted prefix — but the segments
+// present must be contiguous: corruption in the interior of the log (a
+// non-final segment, or a gap between segments) is not repairable and
+// fails Open.
 func Open(dir string, opts Options) (*Journal, error) {
 	if opts.SegmentSize <= 0 {
 		opts.SegmentSize = defaultSegmentSize
 	}
+	if opts.SyncBatchBytes <= 0 {
+		opts.SyncBatchBytes = defaultSyncBatchBytes
+	}
+	if opts.SyncBatchInterval <= 0 {
+		opts.SyncBatchInterval = defaultSyncBatchInterval
+	}
+	switch opts.Sync {
+	case SyncNever, SyncBatch, SyncAlways:
+	default:
+		return nil, fmt.Errorf("journal: unknown sync policy %d", opts.Sync)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	j := &Journal{dir: dir, segSize: opts.SegmentSize, sync: opts.Sync}
+	// A crash between staging the ack-log rewrite and renaming it into
+	// place leaves the scratch file behind; the original ack log is still
+	// authoritative.
+	_ = os.Remove(filepath.Join(dir, ackTmpName))
+	j := &Journal{
+		dir:           dir,
+		segSize:       opts.SegmentSize,
+		sync:          opts.Sync,
+		batchBytes:    opts.SyncBatchBytes,
+		batchInterval: opts.SyncBatchInterval,
+		retainAge:     opts.RetentionAge,
+		retainBytes:   opts.RetentionBytes,
+		onCompact:     opts.OnCompact,
+		now:           func() int64 { return time.Now().UnixNano() },
+	}
 	ch := make(chan struct{})
 	j.signal.Store(&ch)
 
@@ -141,11 +304,18 @@ func Open(dir string, opts Options) (*Journal, error) {
 	if err != nil {
 		return nil, err
 	}
-	nextOffset := int64(0)
+	firstOffset, nextOffset := int64(0), int64(0)
 	for i, name := range names {
 		base, err := strconv.ParseInt(strings.TrimSuffix(name, segmentSuffix), 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("journal: bad segment name %q", name)
+		}
+		if i == 0 {
+			// The lowest segment sets the floor: everything below it was
+			// compacted away (possibly by a crash mid-compaction — the
+			// unlink-lowest-first order makes any deleted prefix look
+			// exactly like a completed compaction).
+			firstOffset, nextOffset = base, base
 		}
 		if base != nextOffset {
 			return nil, fmt.Errorf("journal: segment %q starts at offset %d, want %d (missing segment?)", name, base, nextOffset)
@@ -158,7 +328,9 @@ func Open(dir string, opts Options) (*Journal, error) {
 		j.segs = append(j.segs, seg)
 		nextOffset = base + int64(len(seg.pos))
 	}
+	j.first.Store(firstOffset)
 	j.next.Store(nextOffset)
+	j.written = nextOffset
 
 	if err := j.openAcks(); err != nil {
 		j.closeLocked()
@@ -215,6 +387,7 @@ func openSegment(path string, base int64, last bool) (*segment, error) {
 			break
 		}
 		seg.pos = append(seg.pos, good)
+		seg.lastTime = rec.Time
 		good += int64(n)
 	}
 	seg.size = good
@@ -258,20 +431,32 @@ func (j *Journal) openAcks() error {
 		_ = f.Close()
 		return fmt.Errorf("journal: %w", err)
 	}
-	j.ackF, j.acked = f, acked
+	j.ackF, j.acked, j.ackSize = f, acked, good
 	return nil
+}
+
+// write is the file-write seam: the fault-injection hook, when armed,
+// stands in for os.File.Write.
+func (j *Journal) write(f *os.File, b []byte) (int, error) {
+	if j.writeHook != nil {
+		return j.writeHook(f, b)
+	}
+	return f.Write(b)
 }
 
 // Append writes one record and returns its offset. The record is framed,
 // written with a single write call and committed (made visible to
-// NextOffset and the append signal) only afterwards, so a crash can tear
-// at most the record being written — exactly what Open's tail truncation
-// repairs.
+// NextOffset and the append signal) only afterwards — under SyncBatch
+// only after its batch is fsynced — so a crash can tear at most the
+// records not yet published, exactly what Open's tail truncation repairs.
 func (j *Journal) Append(rec *Record) (int64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed {
 		return 0, errClosed
+	}
+	if j.appendErr != nil {
+		return 0, fmt.Errorf("journal: append: %w", j.appendErr)
 	}
 	buf, err := appendRecord(j.buf[:0], rec)
 	if err != nil {
@@ -279,37 +464,341 @@ func (j *Journal) Append(rec *Record) (int64, error) {
 	}
 	j.buf = buf
 
-	offset := j.next.Load()
+	offset := j.written
 	seg := j.activeSegmentLocked(int64(len(buf)))
 	if seg == nil {
 		seg, err = j.newSegmentLocked(offset)
 		if err != nil {
 			return 0, err
 		}
+		// Rolling is where the retention windows are enforced: the
+		// just-sealed segment is now a deletion candidate. Unlink failures
+		// are left for the next pass; only a sticky failure (a batch fsync
+		// that could not complete) fails this append.
+		if j.retainAge > 0 || j.retainBytes > 0 {
+			if _, cerr := j.compactLocked(); cerr != nil && j.appendErr != nil {
+				return 0, fmt.Errorf("journal: append: %w", j.appendErr)
+			}
+		}
 	}
-	if _, err := seg.f.Write(buf); err != nil {
-		// A short or failed write leaves a torn tail; roll to a fresh
-		// segment so the next append does not stack a record after it
-		// (Open would stop at the tear and lose the stack).
-		_ = seg.f.Truncate(seg.size)
-		return 0, fmt.Errorf("journal: append: %w", err)
+	if _, werr := j.write(seg.f, buf); werr != nil {
+		// A short or failed write leaves torn bytes at the tail. Restore
+		// the segment to its last committed state — truncate back to the
+		// committed size AND re-seek the file position to match: without
+		// the seek the next append would write past the truncation point
+		// and leave a zero-filled gap that Open rejects as interior
+		// corruption once the segment is no longer last. If the
+		// restoration itself fails the tear cannot be removed, so further
+		// appends (which would stack records Open can never reach behind
+		// the tear) are refused until a reopen repairs the tail.
+		j.restoreTailLocked(seg, werr)
+		return 0, fmt.Errorf("journal: append: %w", werr)
 	}
 	if j.sync == SyncAlways {
-		if err := seg.f.Sync(); err != nil {
-			return 0, fmt.Errorf("journal: sync: %w", err)
+		if serr := seg.f.Sync(); serr != nil {
+			// SyncAlways promises durability on return; a record that
+			// cannot be synced is dropped, not half-committed — restore
+			// the tail exactly like a failed write so the in-memory index
+			// and the file position stay consistent.
+			j.restoreTailLocked(seg, serr)
+			return 0, fmt.Errorf("journal: sync: %w", serr)
 		}
 	}
 	seg.pos = append(seg.pos, seg.size)
 	seg.size += int64(len(buf))
+	seg.lastTime = rec.Time
+	j.written = offset + 1
 
-	// Commit: advance the published bound, then wake tailing readers. A
-	// reader that grabbed the signal before this append sees the close; a
-	// reader that grabs it after sees the advanced NextOffset.
-	j.next.Store(offset + 1)
+	if j.sync == SyncBatch {
+		seg.dirty = true
+		j.unsynced += int64(len(buf))
+		if j.unsynced >= j.batchBytes {
+			if ferr := j.flushLocked(); ferr != nil {
+				return 0, fmt.Errorf("journal: sync: %w", ferr)
+			}
+		} else if j.flushTimer == nil {
+			j.flushTimer = time.AfterFunc(j.batchInterval, j.timedFlush)
+		}
+		return offset, nil
+	}
+	j.commitLocked()
+	return offset, nil
+}
+
+// restoreTailLocked puts a segment back in its last committed state after
+// a failed write or sync: truncate to the committed size and re-seek the
+// file position there. A restoration failure is sticky — see appendErr.
+func (j *Journal) restoreTailLocked(seg *segment, cause error) {
+	if terr := seg.f.Truncate(seg.size); terr != nil {
+		j.appendErr = fmt.Errorf("tail restore after %v: truncate: %w", cause, terr)
+		return
+	}
+	if _, serr := seg.f.Seek(seg.size, 0); serr != nil {
+		j.appendErr = fmt.Errorf("tail restore after %v: seek: %w", cause, serr)
+	}
+}
+
+// commitLocked publishes everything written: advance the readable bound,
+// then wake tailing readers. A reader that grabbed the signal before this
+// commit sees the close; a reader that grabs it after sees the advanced
+// NextOffset.
+func (j *Journal) commitLocked() {
+	j.next.Store(j.written)
 	ch := make(chan struct{})
 	old := j.signal.Swap(&ch)
 	close(*old)
-	return offset, nil
+}
+
+// timedFlush is the SyncBatch interval alarm: sync and publish whatever
+// accumulated. A flush failure is sticky in appendErr and surfaces on the
+// next Append.
+func (j *Journal) timedFlush() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.flushTimer = nil
+	if j.closed {
+		return
+	}
+	_ = j.flushLocked()
+}
+
+// flushLocked fsyncs every dirty segment (and a dirty ack log), then
+// publishes the written-but-unpublished records. No-op when nothing is
+// pending.
+func (j *Journal) flushLocked() error {
+	if j.flushTimer != nil {
+		j.flushTimer.Stop()
+		j.flushTimer = nil
+	}
+	for _, seg := range j.segs {
+		if !seg.dirty {
+			continue
+		}
+		if err := seg.f.Sync(); err != nil {
+			// The batch cannot reach stable storage, so its records must
+			// not be published as durable; fail closed until reopen.
+			j.appendErr = fmt.Errorf("batch sync: %w", err)
+			return j.appendErr
+		}
+		seg.dirty = false
+	}
+	j.unsynced = 0
+	j.syncDirtyAcks()
+	if j.written != j.next.Load() {
+		j.commitLocked()
+	}
+	return nil
+}
+
+// syncDirtyAcks flushes batched ack writes alongside the append batch.
+// Ack persistence is best-effort between fsyncs — a lost ack only
+// re-delivers — so a failure leaves ackDirty set for the next pass.
+func (j *Journal) syncDirtyAcks() {
+	j.ackMu.Lock()
+	defer j.ackMu.Unlock()
+	if !j.ackDirty || j.ackF == nil {
+		return
+	}
+	if err := j.ackF.Sync(); err == nil {
+		j.ackDirty = false
+	}
+}
+
+// Sync forces any batch-buffered appends (and acks) to stable storage and
+// publishes them. Meaningful under SyncBatch; a no-op otherwise.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errClosed
+	}
+	return j.flushLocked()
+}
+
+// Compact runs one compaction pass: delete every non-active prefix
+// segment covered by all consumer groups' cumulative acks (with no
+// groups, nothing is ack-covered — a groupless journal is bounded by the
+// retention windows only), then apply the RetentionAge/RetentionBytes
+// windows. Segments are unlinked lowest-first, so a crash mid-pass leaves
+// a shorter contiguous log that Open accepts as an already-compacted
+// prefix. Returns what the pass deleted and the new FirstOffset.
+func (j *Journal) Compact() (CompactStats, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return CompactStats{}, errClosed
+	}
+	return j.compactLocked()
+}
+
+// compactLocked is Compact with mu held; segment rolls call it too.
+func (j *Journal) compactLocked() (CompactStats, error) {
+	st := CompactStats{FirstOffset: j.first.Load()}
+	// Flush first: compaction reasons about the published bound, and an
+	// unflushed batch could leave written-but-unpublished records inside
+	// a deletion candidate.
+	if err := j.flushLocked(); err != nil {
+		return st, err
+	}
+	if len(j.segs) == 0 {
+		return st, nil
+	}
+
+	// minAck is the offset every group has reached; -1 when no group
+	// exists (nothing is ack-covered — deleting on an empty quorum would
+	// drop data the first group to appear still wants).
+	minAck := int64(-1)
+	j.ackMu.Lock()
+	for _, off := range j.acked {
+		if minAck < 0 || off < minAck {
+			minAck = off
+		}
+	}
+	j.ackMu.Unlock()
+
+	// All three criteria produce prefixes (segments are offset- and
+	// time-ordered), so the pass reduces to one prefix length. The active
+	// (last) segment is never a candidate: it keeps the offset counter
+	// recoverable and the append path simple.
+	acked := 0
+	for acked < len(j.segs)-1 {
+		seg := j.segs[acked]
+		if minAck < 0 || seg.base+int64(len(seg.pos)) > minAck {
+			break
+		}
+		acked++
+	}
+	del := acked
+	if j.retainAge > 0 {
+		cutoff := j.now() - int64(j.retainAge)
+		for del < len(j.segs)-1 && j.segs[del].lastTime < cutoff {
+			del++
+		}
+	}
+	if j.retainBytes > 0 {
+		// Count the active segment at its full roll threshold so the
+		// budget keeps holding as it fills between rolls.
+		total := j.segSize - j.segs[len(j.segs)-1].size
+		if total < 0 {
+			total = 0 // oversized single-record segment
+		}
+		for _, seg := range j.segs {
+			total += seg.size
+		}
+		for del < len(j.segs)-1 && total > j.retainBytes {
+			total -= j.segs[del].size
+			del++
+		}
+	}
+	if del == 0 {
+		return st, nil
+	}
+
+	// Unlink lowest-first: after any crash the surviving files are a
+	// contiguous suffix — indistinguishable from a smaller completed
+	// pass. A failed unlink stops the pass (deleting past it would leave
+	// a gap) and leaves the rest for the next one.
+	removed := 0
+	var err error
+	for i := 0; i < del; i++ {
+		seg := j.segs[i]
+		if rerr := os.Remove(filepath.Join(j.dir, segmentName(seg.base))); rerr != nil {
+			err = fmt.Errorf("journal: compact: %w", rerr)
+			break
+		}
+		_ = seg.f.Close()
+		removed++
+	}
+	if removed == 0 {
+		return st, err
+	}
+	j.segs = j.segs[removed:]
+	j.first.Store(j.segs[0].base)
+	if removed <= acked {
+		st.AckedSegments = removed
+	} else {
+		st.AckedSegments = acked
+		st.RetentionSegments = removed - acked
+	}
+	st.FirstOffset = j.segs[0].base
+	// Fold the ack log down to one record per group. A crash between the
+	// unlinks above and this rewrite just leaves the longer log, which
+	// max-wins folding absorbs at the next open.
+	if aerr := j.compactAcks(); aerr != nil && err == nil {
+		err = aerr
+	}
+	if j.onCompact != nil {
+		j.onCompact(st)
+	}
+	return st, err
+}
+
+// compactAcks rewrites the ack log as one record per group, staged
+// through a scratch file and renamed into place so the rewrite is
+// all-or-nothing.
+func (j *Journal) compactAcks() error {
+	j.ackMu.Lock()
+	defer j.ackMu.Unlock()
+	if j.ackF == nil {
+		return errClosed
+	}
+	buf := j.ackBuf[:0]
+	var err error
+	for group, off := range j.acked {
+		if buf, err = appendAckRecord(buf, group, off); err != nil {
+			return err
+		}
+	}
+	j.ackBuf = buf
+	tmp := filepath.Join(j.dir, ackTmpName)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: compact acks: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return fmt.Errorf("journal: compact acks: %w", err)
+	}
+	if j.sync != SyncNever {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			_ = os.Remove(tmp)
+			return fmt.Errorf("journal: compact acks: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("journal: compact acks: %w", err)
+	}
+	path := filepath.Join(j.dir, ackLogName)
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("journal: compact acks: %w", err)
+	}
+	nf, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		// The old handle writes to the renamed-over inode — invisible to
+		// the next open. Fail the ack log closed rather than lose acks
+		// silently.
+		_ = j.ackF.Close()
+		j.ackF = nil
+		j.ackErr = fmt.Errorf("reopen after rewrite: %w", err)
+		return fmt.Errorf("journal: compact acks: %w", err)
+	}
+	if _, err := nf.Seek(int64(len(buf)), 0); err != nil {
+		_ = nf.Close()
+		_ = j.ackF.Close()
+		j.ackF = nil
+		j.ackErr = fmt.Errorf("reopen after rewrite: %w", err)
+		return fmt.Errorf("journal: compact acks: %w", err)
+	}
+	old := j.ackF
+	j.ackF = nf
+	j.ackSize = int64(len(buf))
+	j.ackDirty = false
+	_ = old.Close()
+	return nil
 }
 
 // activeSegmentLocked returns the segment the next append goes to, or nil
@@ -347,7 +836,9 @@ func (j *Journal) newSegmentLocked(base int64) (*segment, error) {
 // Read decodes the record at the given offset into rec. The record's
 // Image is freshly allocated per call: readers hand it to the wire (or
 // hold it arbitrarily long) without aliasing journal state. Offsets at or
-// past NextOffset return ErrOffsetOutOfRange.
+// past NextOffset return ErrOffsetOutOfRange; offsets below FirstOffset
+// return ErrOffsetCompacted — the record is gone, and the caller decides
+// (loudly) whether to resume from FirstOffset.
 func (j *Journal) Read(offset int64, rec *Record) error {
 	j.mu.Lock()
 	if j.closed {
@@ -356,7 +847,11 @@ func (j *Journal) Read(offset int64, rec *Record) error {
 	}
 	if offset < 0 || offset >= j.next.Load() {
 		j.mu.Unlock()
-		return fmt.Errorf("%w: %d (journal holds [0,%d))", ErrOffsetOutOfRange, offset, j.next.Load())
+		return fmt.Errorf("%w: %d (journal holds [%d,%d))", ErrOffsetOutOfRange, offset, j.first.Load(), j.next.Load())
+	}
+	if offset < j.first.Load() {
+		j.mu.Unlock()
+		return fmt.Errorf("%w: %d (journal holds [%d,%d))", ErrOffsetCompacted, offset, j.first.Load(), j.next.Load())
 	}
 	// Locate the owning segment: the last one whose base is <= offset.
 	i := sort.Search(len(j.segs), func(i int) bool { return j.segs[i].base > offset }) - 1
@@ -371,22 +866,34 @@ func (j *Journal) Read(offset int64, rec *Record) error {
 	j.mu.Unlock()
 
 	// The byte range [start,end) is committed and immutable; the ReadAt
-	// runs outside the lock so replay never stalls appends.
+	// runs outside the lock so replay never stalls appends. A concurrent
+	// compaction can close the file under us — re-check the floor on
+	// failure so the caller sees the compaction, not a bare I/O error.
 	buf := make([]byte, end-start)
 	if _, err := f.ReadAt(buf, start); err != nil {
+		if offset < j.first.Load() {
+			return fmt.Errorf("%w: %d", ErrOffsetCompacted, offset)
+		}
 		return fmt.Errorf("journal: read offset %d: %w", offset, err)
 	}
 	if _, err := decodeRecord(buf, rec); err != nil {
+		if offset < j.first.Load() {
+			return fmt.Errorf("%w: %d", ErrOffsetCompacted, offset)
+		}
 		return fmt.Errorf("journal: read offset %d: %w", offset, err)
 	}
 	return nil
 }
 
-// NextOffset returns the offset the next append will receive — the
+// NextOffset returns the offset the next append will publish — the
 // exclusive upper bound of readable offsets.
 func (j *Journal) NextOffset() int64 { return j.next.Load() }
 
-// AppendSignal returns a channel closed when a record is appended after
+// FirstOffset returns the lowest retained offset — the inclusive lower
+// bound of readable offsets, advanced by compaction and retention.
+func (j *Journal) FirstOffset() int64 { return j.first.Load() }
+
+// AppendSignal returns a channel closed when a record is published after
 // this call. Tailing readers must grab the signal before checking
 // NextOffset: an append between the two closes the already-grabbed
 // channel, so the wait cannot miss it.
@@ -408,6 +915,9 @@ func (j *Journal) Ack(group string, offset int64) error {
 	if j.ackF == nil {
 		return errClosed
 	}
+	if j.ackErr != nil {
+		return fmt.Errorf("journal: ack: %w", j.ackErr)
+	}
 	if offset <= j.acked[group] {
 		return nil
 	}
@@ -416,13 +926,30 @@ func (j *Journal) Ack(group string, offset int64) error {
 		return err
 	}
 	j.ackBuf = buf
-	if _, err := j.ackF.Write(buf); err != nil {
-		return fmt.Errorf("journal: ack: %w", err)
+	if _, werr := j.write(j.ackF, buf); werr != nil {
+		// Same discipline as Append: a failed write leaves torn bytes at
+		// the tail, and every later ack would stack behind the tear where
+		// openAcks silently discards it — the group would re-deliver work
+		// it already finished. Truncate back to the committed length and
+		// re-seek; if the restoration fails, refuse further acks until a
+		// reopen repairs the tail.
+		if terr := j.ackF.Truncate(j.ackSize); terr != nil {
+			j.ackErr = fmt.Errorf("tail restore after %v: truncate: %w", werr, terr)
+		} else if _, serr := j.ackF.Seek(j.ackSize, 0); serr != nil {
+			j.ackErr = fmt.Errorf("tail restore after %v: seek: %w", werr, serr)
+		}
+		return fmt.Errorf("journal: ack: %w", werr)
 	}
-	if j.sync == SyncAlways {
+	j.ackSize += int64(len(buf))
+	switch j.sync {
+	case SyncAlways:
 		if err := j.ackF.Sync(); err != nil {
 			return fmt.Errorf("journal: ack sync: %w", err)
 		}
+	case SyncBatch:
+		// Ride the append batch's fsync cadence; a power cut between
+		// flushes only loses acks, which re-deliver.
+		j.ackDirty = true
 	}
 	j.acked[group] = offset
 	return nil
@@ -436,10 +963,21 @@ func (j *Journal) Acked(group string) int64 {
 	return j.acked[group]
 }
 
-// Close closes the journal's files. Appends and reads fail afterwards.
+// Close closes the journal's files, flushing any pending SyncBatch batch
+// first. Appends and reads fail afterwards.
 func (j *Journal) Close() error {
 	j.mu.Lock()
-	err := j.closeLocked()
+	var err error
+	if !j.closed && j.sync == SyncBatch {
+		err = j.flushLocked()
+	}
+	if j.flushTimer != nil {
+		j.flushTimer.Stop()
+		j.flushTimer = nil
+	}
+	if cerr := j.closeLocked(); err == nil {
+		err = cerr
+	}
 	j.mu.Unlock()
 
 	j.ackMu.Lock()

@@ -165,11 +165,16 @@ func TestRecoveryInteriorCorruptionFailsOpen(t *testing.T) {
 func TestRecoveryMissingSegmentFailsOpen(t *testing.T) {
 	dir := t.TempDir()
 	paths := fillJournal(t, dir, 20)
-	if err := os.Remove(paths[0]); err != nil {
+	if len(paths) < 3 {
+		t.Fatalf("test needs an interior segment, got %d segments", len(paths))
+	}
+	// A missing interior segment is a gap, not a compacted prefix (only a
+	// prefix can legally be absent — compaction unlinks lowest-first).
+	if err := os.Remove(paths[1]); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(dir, Options{SegmentSize: 256}); err == nil {
-		t.Fatal("Open with missing segment: want error")
+		t.Fatal("Open with missing interior segment: want error")
 	}
 }
 

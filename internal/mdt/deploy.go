@@ -7,6 +7,7 @@ import (
 
 	"safeweb/internal/broker"
 	"safeweb/internal/core"
+	"safeweb/internal/journal"
 	"safeweb/internal/maindb"
 	"safeweb/internal/webfront"
 )
@@ -43,12 +44,17 @@ type DeployConfig struct {
 	// Durable and JournalDir, with NetworkBroker, journal publishes on the
 	// listed topic patterns to disk under JournalDir, so consumers can
 	// replay and resume them with offset/group subscriptions (see
-	// core.Config.Durable).
-	Durable         []string
-	JournalDir      string
-	DisableTracking bool
-	AuthWork        int
-	OnRequest       func(webfront.PhaseTimes)
+	// core.Config.Durable). JournalRetentionAge/-Bytes bound the journals
+	// (zero means unbounded) and JournalSync selects their fsync policy —
+	// all passed through to core.Config.
+	Durable               []string
+	JournalDir            string
+	JournalRetentionAge   time.Duration
+	JournalRetentionBytes int64
+	JournalSync           journal.SyncPolicy
+	DisableTracking       bool
+	AuthWork              int
+	OnRequest             func(webfront.PhaseTimes)
 	// Logf logs; nil is quiet.
 	Logf func(format string, args ...any)
 }
@@ -76,20 +82,23 @@ func Deploy(cfg DeployConfig) (*Deployment, error) {
 	policy := BuildPolicy(registry)
 
 	mw, err := core.New(core.Config{
-		Policy:             policy,
-		NetworkBroker:      cfg.NetworkBroker,
-		PublishWindow:      cfg.PublishWindow,
-		Overflow:           cfg.Overflow,
-		OverflowEvictAfter: cfg.OverflowEvictAfter,
-		WriteQueueLen:      cfg.WriteQueueLen,
-		WriteTimeout:       cfg.WriteTimeout,
-		SubscribeCredit:    cfg.SubscribeCredit,
-		Durable:            cfg.Durable,
-		JournalDir:         cfg.JournalDir,
-		DisableTracking:    cfg.DisableTracking,
-		AuthWork:           cfg.AuthWork,
-		OnRequest:          cfg.OnRequest,
-		Logf:               cfg.Logf,
+		Policy:                policy,
+		NetworkBroker:         cfg.NetworkBroker,
+		PublishWindow:         cfg.PublishWindow,
+		Overflow:              cfg.Overflow,
+		OverflowEvictAfter:    cfg.OverflowEvictAfter,
+		WriteQueueLen:         cfg.WriteQueueLen,
+		WriteTimeout:          cfg.WriteTimeout,
+		SubscribeCredit:       cfg.SubscribeCredit,
+		Durable:               cfg.Durable,
+		JournalDir:            cfg.JournalDir,
+		JournalRetentionAge:   cfg.JournalRetentionAge,
+		JournalRetentionBytes: cfg.JournalRetentionBytes,
+		JournalSync:           cfg.JournalSync,
+		DisableTracking:       cfg.DisableTracking,
+		AuthWork:              cfg.AuthWork,
+		OnRequest:             cfg.OnRequest,
+		Logf:                  cfg.Logf,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("mdt: deploy: %w", err)

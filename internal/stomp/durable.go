@@ -9,7 +9,10 @@ import "strconv"
 //     topic starts, and a group header naming the consumer group whose
 //     cumulative acked offset the subscription resumes from (and
 //     advances). A SUBSCRIBE with neither header is a plain live
-//     subscription, byte-identical to today's wire behaviour.
+//     subscription, byte-identical to today's wire behaviour. A start
+//     position below the journal's retained lower bound (journals are
+//     compacted; see package journal) is clamped up to the oldest
+//     retained record — the broker counts the clamp, it is never silent.
 //   - ACK may carry an offset header holding the consumer's cumulative
 //     progress: every journal record below the offset is processed. Like
 //     credit grants, offset acks are cumulative and idempotent — the live
